@@ -1,0 +1,334 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus ablations and a raw-substrate benchmark. Each table benchmark runs
+// the corresponding harness experiment and reports the headline shape
+// numbers as custom metrics (e.g. geomean overhead percentages), so
+// `go test -bench . -benchmem` reproduces the paper's story in one sweep.
+// The kivati-bench command prints the full tables.
+package kivati_test
+
+import (
+	"testing"
+
+	"kivati/internal/annotate"
+	"kivati/internal/core"
+	"kivati/internal/harness"
+	"kivati/internal/kernel"
+	"kivati/internal/vm"
+	"kivati/internal/workloads"
+)
+
+// benchScale keeps each harness iteration around a second.
+const benchScale = 0.25
+
+func benchOpts() harness.Options {
+	return harness.Options{Scale: benchScale, Seed: 1}
+}
+
+// BenchmarkVMExecution measures the raw simulated-machine speed executing
+// the vanilla NSS workload (host ns per simulated instruction).
+func BenchmarkVMExecution(b *testing.B) {
+	spec := workloads.NSS(workloads.Scale(benchScale))
+	p, err := core.Build(spec.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instr uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(p, core.RunConfig{Vanilla: true, Seed: 1, MaxTicks: 1_000_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += res.Stats.Instructions
+	}
+	b.ReportMetric(float64(instr)/float64(b.Elapsed().Nanoseconds())*1e3, "Minstr/s")
+}
+
+// BenchmarkAnnotator measures the static annotator + compiler pipeline.
+func BenchmarkAnnotator(b *testing.B) {
+	src := workloads.TPCW(1).Source
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1ArchSurvey renders the watchpoint survey (Table 1).
+func BenchmarkTable1ArchSurvey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3Overhead regenerates Table 3 and reports the geometric-mean
+// overheads for the Base and fully-optimized configurations (the paper:
+// ~30% and ~19%).
+func BenchmarkTable3Overhead(b *testing.B) {
+	var base, opt float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunTable3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base = res.GeoMean.Base.PrevPct
+		opt = res.GeoMean.Optimized.PrevPct
+	}
+	b.ReportMetric(base, "base_geomean_%")
+	b.ReportMetric(opt, "optimized_geomean_%")
+}
+
+// BenchmarkTable4Crossings regenerates Table 4 and reports the average
+// kernel-crossing reduction from the optimizations (paper: ~41%).
+func BenchmarkTable4Crossings(b *testing.B) {
+	var red float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunTable4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		red = res.AvgReduction
+	}
+	b.ReportMetric(red, "crossing_reduction_%")
+}
+
+// BenchmarkTable5Latency regenerates the server-latency table and reports
+// the prevention-mode latency overheads (paper: 6.7% and 11.2%).
+func BenchmarkTable5Latency(b *testing.B) {
+	var web, tpcw float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunTable5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		web, tpcw = rows[0].PrevPct, rows[1].PrevPct
+	}
+	b.ReportMetric(web, "webstone_latency_%")
+	b.ReportMetric(tpcw, "tpcw_latency_%")
+}
+
+// BenchmarkTable6BugDetection regenerates the bug-detection table and
+// reports how many of the 11 bugs each mode found within the cap.
+func BenchmarkTable6BugDetection(b *testing.B) {
+	var prev, bug20 int
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunTable6(harness.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev, bug20 = 0, 0
+		for _, r := range rows {
+			if r.PrevDetected {
+				prev++
+			}
+			if r.Bug20Found {
+				bug20++
+			}
+		}
+	}
+	b.ReportMetric(float64(prev), "bugs_found_prevention")
+	b.ReportMetric(float64(bug20), "bugs_found_bugfinding")
+}
+
+// BenchmarkTable7FalsePositives reports the total false positives across
+// the suite (paper: 4-19 per app).
+func BenchmarkTable7FalsePositives(b *testing.B) {
+	var fp, traps float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunTable7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fp, traps = 0, 0
+		for _, r := range rows {
+			fp += float64(r.PrevFP)
+			traps += r.PrevTraps
+		}
+	}
+	b.ReportMetric(fp, "total_FPs")
+	b.ReportMetric(traps/5, "avg_traps_per_s")
+}
+
+// BenchmarkTable8MissedARs reports the average missed-AR percentage with 4
+// watchpoints (paper: ~5%).
+func BenchmarkTable8MissedARs(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunTable8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = 0
+		for _, r := range rows {
+			avg += r.PrevPct
+		}
+		avg /= float64(len(rows))
+	}
+	b.ReportMetric(avg, "avg_missed_%")
+}
+
+// BenchmarkTable9WatchpointSweep reports the average register count at which
+// missed ARs reach zero (paper: 8-12 depending on the app).
+func BenchmarkTable9WatchpointSweep(b *testing.B) {
+	var avgZero float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunTable9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, app := range res.Apps {
+			for j, pct := range res.Pct[app] {
+				if pct == 0 {
+					total += res.Counts[j]
+					break
+				}
+				if j == len(res.Pct[app])-1 {
+					total += res.Counts[j] + 1
+				}
+			}
+		}
+		avgZero = float64(total) / float64(len(res.Apps))
+	}
+	b.ReportMetric(avgZero, "avg_registers_to_zero_missed")
+}
+
+// BenchmarkFigure7Training reports training convergence: total new FPs in
+// the first and last iteration across the suite.
+func BenchmarkFigure7Training(b *testing.B) {
+	var first, last float64
+	for i := 0; i < b.N; i++ {
+		rs, err := harness.RunFigure7(harness.Options{Scale: 0.5, Seed: 1}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last = 0, 0
+		for _, r := range rs {
+			first += float64(r.Prevention[0] + r.BugFinding[0])
+			last += float64(r.Prevention[4] + r.BugFinding[4])
+		}
+	}
+	b.ReportMetric(first, "new_FPs_iter1")
+	b.ReportMetric(last, "new_FPs_iter5")
+}
+
+// BenchmarkAblationPauseTime compares the two bug-finding pause lengths of
+// Table 6 on one workload's runtime — the paper's observation that longer
+// pauses slow the application, sometimes outweighing the wider windows.
+func BenchmarkAblationPauseTime(b *testing.B) {
+	spec := workloads.NSS(workloads.Scale(benchScale))
+	p, err := core.Build(spec.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(pause uint64) uint64 {
+		res, err := core.Run(p, core.RunConfig{
+			Mode: kernel.BugFinding, Opt: kernel.OptBase,
+			PauseTicks: pause, PauseEvery: 50, Seed: 1, MaxTicks: 2_000_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Ticks
+	}
+	var t20, t50 uint64
+	for i := 0; i < b.N; i++ {
+		t20 = run(harness.Pause20)
+		t50 = run(harness.Pause50)
+	}
+	b.ReportMetric(float64(t50)/float64(t20), "pause50_vs_pause20_slowdown")
+}
+
+// BenchmarkAblationPreciseAnalysis compares the prototype's simple static
+// analysis against the §3.5 points-to extension: fewer atomic regions, fewer
+// annotations executed, lower runtime — the paper's prediction that "a
+// smaller number of ARs benefits Kivati".
+func BenchmarkAblationPreciseAnalysis(b *testing.B) {
+	src := workloads.NSS(workloads.Scale(benchScale)).Source
+	crude, err := core.Build(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	precise, err := core.BuildWithOptions(src, annotate.Options{Precise: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var crudeTicks, preciseTicks uint64
+	for i := 0; i < b.N; i++ {
+		rc, err := core.Run(crude, core.RunConfig{Seed: 1, MaxTicks: 4_000_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rp, err := core.Run(precise, core.RunConfig{Seed: 1, MaxTicks: 4_000_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		crudeTicks, preciseTicks = rc.Ticks, rp.Ticks
+	}
+	b.ReportMetric(float64(len(crude.Annotated.ARs)), "ARs_prototype")
+	b.ReportMetric(float64(len(precise.Annotated.ARs)), "ARs_precise")
+	b.ReportMetric(float64(preciseTicks)/float64(crudeTicks), "precise_runtime_ratio")
+}
+
+// BenchmarkBaselineSoftwareMonitor contrasts Kivati's watchpoint approach
+// with per-access software instrumentation (AVIO/CTrigger-class tools): the
+// same workload with every memory access paying an instrumentation check.
+// The paper cites 15x-65x worst-case slowdowns for such systems.
+func BenchmarkBaselineSoftwareMonitor(b *testing.B) {
+	spec := workloads.NSS(workloads.Scale(benchScale))
+	p, err := core.Build(spec.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vanilla, kivati, monitor uint64
+	for i := 0; i < b.N; i++ {
+		van, err := core.Run(p, core.RunConfig{Vanilla: true, Seed: 1, MaxTicks: 40_000_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		kiv, err := core.Run(p, core.RunConfig{Opt: kernel.OptOptimized, Seed: 1, MaxTicks: 40_000_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		costs := vm.DefaultCosts()
+		costs.AccessCheck = 40 // a software check per memory access
+		mon, err := core.Run(p, core.RunConfig{Vanilla: true, Seed: 1, Costs: costs, MaxTicks: 40_000_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vanilla, kivati, monitor = van.Ticks, kiv.Ticks, mon.Ticks
+	}
+	b.ReportMetric(float64(kivati)/float64(vanilla), "kivati_slowdown_x")
+	b.ReportMetric(float64(monitor)/float64(vanilla), "software_monitor_slowdown_x")
+}
+
+// BenchmarkAblationTrapSemantics contrasts x86's after-access traps (which
+// require the undo engine) with SPARC-class before-access traps (Table 1):
+// same prevention guarantees, no rollback work.
+func BenchmarkAblationTrapSemantics(b *testing.B) {
+	spec := workloads.NSS(workloads.Scale(benchScale))
+	p, err := core.Build(spec.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(before bool) *vm.Result {
+		res, err := core.Run(p, core.RunConfig{
+			Opt: kernel.OptBase, Seed: 1, MaxTicks: 4_000_000_000, TrapBefore: before,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var after, before *vm.Result
+	for i := 0; i < b.N; i++ {
+		after = run(false)
+		before = run(true)
+	}
+	b.ReportMetric(float64(before.Ticks)/float64(after.Ticks), "before_vs_after_runtime")
+	b.ReportMetric(float64(after.Stats.Traps), "after_traps")
+	b.ReportMetric(float64(before.Stats.Traps), "before_traps")
+}

@@ -1,0 +1,104 @@
+// kivati-bench regenerates the tables and figures of the paper's evaluation
+// section (§4) on the simulated substrate.
+//
+// Usage:
+//
+//	kivati-bench -all                # every table and figure
+//	kivati-bench -table 3            # one table (1-9)
+//	kivati-bench -figure 7           # Figure 7
+//	kivati-bench -all -scale 0.5     # larger workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kivati/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-9)")
+	figure := flag.Int("figure", 0, "regenerate one figure (7)")
+	all := flag.Bool("all", false, "regenerate everything")
+	scale := flag.Float64("scale", 0.25, "workload scale (1.0 = full benchmark)")
+	seed := flag.Int64("seed", 1, "scheduler seed")
+	iters := flag.Int("train-iters", 7, "Figure 7 training iterations")
+	flag.Parse()
+
+	o := harness.Options{Scale: *scale, Seed: *seed}
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(n int) {
+		switch n {
+		case 1:
+			fmt.Println(harness.Table1())
+		case 2:
+			fmt.Println(harness.Table2(o))
+		case 3:
+			res, err := harness.RunTable3(o)
+			check(err)
+			fmt.Println(res)
+		case 4:
+			res, err := harness.RunTable4(o)
+			check(err)
+			fmt.Println(res)
+		case 5:
+			rows, err := harness.RunTable5(o)
+			check(err)
+			fmt.Println(harness.FormatTable5(rows))
+		case 6:
+			rows, err := harness.RunTable6(harness.Options{Seed: *seed})
+			check(err)
+			fmt.Println(harness.FormatTable6(rows))
+		case 7:
+			rows, err := harness.RunTable7(o)
+			check(err)
+			fmt.Println(harness.FormatTable7(rows))
+		case 8:
+			rows, err := harness.RunTable8(o)
+			check(err)
+			fmt.Println(harness.FormatTable8(rows))
+		case 9:
+			res, err := harness.RunTable9(o)
+			check(err)
+			fmt.Println(res)
+		default:
+			check(fmt.Errorf("no table %d", n))
+		}
+	}
+	runFigure := func(n int) {
+		switch n {
+		case 7:
+			rs, err := harness.RunFigure7(o, *iters)
+			check(err)
+			fmt.Println(harness.FormatFigure7(rs))
+		default:
+			check(fmt.Errorf("no figure %d", n))
+		}
+	}
+
+	if *all {
+		for n := 1; n <= 9; n++ {
+			run(n)
+		}
+		runFigure(7)
+		return
+	}
+	if *table != 0 {
+		run(*table)
+	}
+	if *figure != 0 {
+		runFigure(*figure)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kivati-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// kivati-disasm compiles a MiniC program and prints its machine code — the
+// disassembly, the function entry points, and the instruction-boundary table
+// the kernel's undo engine consumes (§3.3). It is the inspection tool for
+// the pre-processing pass: for every memory-accessing instruction it shows
+// the next-PC → PC mapping used to roll the program counter back after a
+// trap-after-access watchpoint fires.
+//
+// Usage:
+//
+//	kivati-disasm [-vanilla] [-boundary] file.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"kivati/internal/annotate"
+	"kivati/internal/compile"
+	"kivati/internal/isa"
+	"kivati/internal/minic"
+)
+
+func main() {
+	vanilla := flag.Bool("vanilla", false, "compile without Kivati annotations")
+	boundary := flag.Bool("boundary", false, "print the instruction-boundary table")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: kivati-disasm [-vanilla] [-boundary] file.mc\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := minic.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	ap, err := annotate.Annotate(prog)
+	if err != nil {
+		fatal(err)
+	}
+	bin, err := compile.Compile(ap, compile.Options{Annotate: !*vanilla})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Invert the function map for entry labels.
+	entries := map[uint32]string{}
+	for name, pc := range bin.Funcs {
+		entries[pc] = name
+	}
+
+	lines, err := isa.Disassemble(bin.Code)
+	if err != nil {
+		fatal(err)
+	}
+	pc := uint32(0)
+	for _, line := range lines {
+		if name, ok := entries[pc]; ok {
+			fmt.Printf("\n%s:\n", name)
+		}
+		fmt.Println(line)
+		in, err := isa.Decode(bin.Code, pc)
+		if err != nil {
+			fatal(err)
+		}
+		pc += uint32(in.Len)
+	}
+
+	fmt.Printf("\n%d bytes, %d instructions, %d memory-accessing (boundary table entries)\n",
+		len(bin.Code), len(lines), bin.Boundary.NumAccessInstrs())
+
+	if *boundary {
+		fmt.Println("\n# boundary table: next-PC -> accessing instruction PC")
+		type entry struct{ next, instr uint32 }
+		var table []entry
+		scan := uint32(0)
+		for int(scan) < len(bin.Code) {
+			in, err := isa.Decode(bin.Code, scan)
+			if err != nil {
+				fatal(err)
+			}
+			next := scan + uint32(in.Len)
+			if prev, ok := bin.Boundary.PrevAccess(next); ok && prev == scan {
+				table = append(table, entry{next, scan})
+			}
+			scan = next
+		}
+		sort.Slice(table, func(i, j int) bool { return table[i].next < table[j].next })
+		for _, e := range table {
+			fmt.Printf("%06x -> %06x\n", e.next, e.instr)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kivati-disasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Analysis: the paper's §3.5 future work, implemented — see what the
+// points-to pass and the inter-procedural call summaries change.
+//
+// The program hides a check-then-act race behind a helper function and
+// performs its updates through a pointer alias, while a pile of
+// value-dependent private locals would bloat the prototype analysis's
+// monitoring. We build it three ways and compare the atomic-region tables
+// and the runtime behaviour.
+//
+// Run with: go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kivati"
+)
+
+const src = `
+int session;
+int inits;
+int done;
+int lk;
+
+int hash(int v) {
+    int x;
+    int j;
+    x = v + 10007;
+    j = 0;
+    while (j < 40) {
+        x = x * 31 + j;
+        j = j + 1;
+    }
+    if (x < 0) {
+        x = 0 - x;
+    }
+    return x;
+}
+
+void init_session(int id) {
+    int *p;
+    p = &session;
+    *p = id;
+    inits = inits + 1;
+}
+
+void reset_session(int id) {
+    session = 0;
+}
+
+void worker(int id) {
+    int i;
+    int w;
+    int copy1;
+    int copy2;
+    i = 0;
+    while (i < 500) {
+        w = hash(id * 131 + i);
+        copy1 = session;
+        copy2 = copy1 + w;
+        if (w % 3 == 0) {
+            if (session == 0) {
+                init_session(id);
+            }
+        }
+        if (w % 3 == 1) {
+            reset_session(id);
+        }
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+
+void main() {
+    spawn(worker, 1);
+    worker(2);
+    while (done < 2) {
+        yield();
+    }
+}
+`
+
+func inspect(name string, p *kivati.Program) {
+	ars := p.ARs()
+	callerARs := 0
+	for _, ar := range ars {
+		if ar.Func == "worker" && ar.Var == "session" {
+			callerARs++
+		}
+	}
+	rep, err := kivati.Run(p, kivati.Config{Seed: 9, MaxTicks: 400_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessionViolations := 0
+	for _, v := range rep.Violations {
+		if v.Var == "session" || v.Var == "*p" {
+			sessionViolations++
+		}
+	}
+	fmt.Printf("%-28s %3d ARs total, %d caller-level on session; run: %4d begins, %2d session violations\n",
+		name, len(ars), callerARs, rep.Stats.Begins, sessionViolations)
+}
+
+func main() {
+	fmt.Println("Static analysis variants on the helper-factored check-then-act race:")
+	fmt.Println()
+
+	prototype, err := kivati.Build(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inspect("prototype (paper §3.1)", prototype)
+
+	precise, err := kivati.BuildWithAnalysis(src, kivati.Analysis{Precise: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inspect("points-to (§3.5)", precise)
+
+	full, err := kivati.BuildWithAnalysis(src, kivati.Analysis{Precise: true, InterProcedural: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inspect("points-to + inter-proc", full)
+
+	fmt.Println()
+	fmt.Println("The points-to pass drops the monitors on copy1/copy2 (fewer ARs, fewer")
+	fmt.Println("begins); the inter-procedural summaries add the caller-level region that")
+	fmt.Println("spans init_session(), which is what catches the factored-out race.")
+}

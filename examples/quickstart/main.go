@@ -1,0 +1,138 @@
+// Quickstart: protect the paper's Figure 1 bug — Firefox NSS's
+// check-then-assign race on a shared pointer — with Kivati.
+//
+// The program below runs two threads that both do:
+//
+//	if (shared_ptr == 0) { shared_ptr = id; }
+//
+// without a lock. The read and the write must execute atomically; when
+// another thread's write interleaves, an update is lost. We run it three
+// ways: vanilla (the race is invisible), prevention mode (violations are
+// detected, reported with thread IDs and PCs, and the interleaving access is
+// reordered), and with the violating region whitelisted (trained as benign).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kivati"
+)
+
+const src = `
+int shared_ptr;
+int lost;
+int lk;
+int done;
+
+int think(int v) {
+    int x;
+    int j;
+    x = v + 3;
+    j = 0;
+    while (j < 30) {
+        x = x * 31 + j;
+        j = j + 1;
+    }
+    if (x < 0) {
+        x = 0 - x;
+    }
+    return x;
+}
+
+void attempt(int id) {
+    int p;
+    if (shared_ptr == 0) {
+        p = think(id);
+        shared_ptr = p + 1;
+    } else {
+        lock(lk);
+        lost = lost + 1;
+        unlock(lk);
+    }
+    shared_ptr = 0;
+}
+
+void racer(int id) {
+    int i;
+    int w;
+    i = 0;
+    while (i < 800) {
+        w = think(id * 7919 + i);
+        if (w % 3 == 0) {
+            attempt(id);
+        }
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+
+void main() {
+    spawn(racer, 1);
+    racer(2);
+    while (done < 2) {
+        yield();
+    }
+}
+`
+
+func main() {
+	p, err := kivati.Build(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Atomic regions the static annotator found ===")
+	for _, ar := range p.ARs() {
+		if ar.Var == "shared_ptr" {
+			fmt.Printf("  AR%-3d %s.%s  local %v..%v, watching remote %v\n",
+				ar.ID, ar.Func, ar.Var, ar.First, ar.Second, ar.Watch)
+		}
+	}
+
+	fmt.Println("\n=== 1. Vanilla run (no Kivati) ===")
+	rep, err := kivati.Run(p, kivati.Config{Vanilla: true, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  completed in %d ticks; the race runs unobserved\n", rep.Ticks)
+
+	fmt.Println("\n=== 2. Prevention mode ===")
+	rep, err = kivati.Run(p, kivati.Config{Mode: kivati.Prevention, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prevented := 0
+	for _, v := range rep.Violations {
+		if v.Prevented {
+			prevented++
+		}
+	}
+	fmt.Printf("  %d violation(s) detected on shared_ptr, %d reordered before doing harm:\n",
+		len(rep.Violations), prevented)
+	for i, v := range rep.Violations {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(rep.Violations)-3)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+
+	fmt.Println("\n=== 3. After whitelisting (trained as benign) ===")
+	wl := kivati.NewWhitelist()
+	for _, v := range rep.Violations {
+		wl.Add(v.ARID)
+	}
+	rep, err = kivati.Run(p, kivati.Config{
+		Mode: kivati.Prevention, Opt: kivati.OptSyncVars, Whitelist: wl, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d violation(s) with the whitelist; %d annotations skipped in user space\n",
+		len(rep.Violations), rep.Stats.WhitelistSkips)
+}

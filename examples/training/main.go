@@ -1,0 +1,126 @@
+// Training: build a benign-AR whitelist with repeated runs — the paper's
+// §4.2 training procedure and Figure 7 experiment in miniature.
+//
+// The program has three racy statistics counters that violate atomicity
+// benignly (the program tolerates lost counts) plus one real lost-update bug
+// on `balance`. Training whitelists the benign regions iteration by
+// iteration while the bug variable is pinned as never-whitelistable; the
+// trained whitelist then cuts both false positives and overhead, and the
+// real bug remains detectable.
+//
+// Run with: go run ./examples/training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kivati"
+)
+
+const src = `
+int balance;
+int stat_a;
+int stat_b;
+int stat_c;
+int lk;
+int done;
+
+int work(int v) {
+    int x;
+    int j;
+    x = v;
+    j = 0;
+    while (j < 60) {
+        x = x * 31 + j;
+        j = j + 1;
+    }
+    if (x < 0) {
+        x = 0 - x;
+    }
+    return x;
+}
+
+void client(int id) {
+    int i;
+    int w;
+    int t;
+    i = 0;
+    while (i < 500) {
+        w = work(id * 31 + i);
+        if (w % 6 == 0) {
+            t = stat_a;
+            t = t + work(w) % 2;
+            stat_a = t + 1;
+        }
+        if (w % 9 == 1) {
+            stat_b = stat_b + 1;
+        }
+        if (w % 14 == 2) {
+            stat_c = stat_c + w % 3;
+        }
+        if (w % 25 == 3) {
+            t = balance;
+            t = t + work(w) % 2;
+            balance = t + 10;
+        }
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+
+void main() {
+    spawn(client, 1);
+    client(2);
+    while (done < 2) {
+        yield();
+    }
+}
+`
+
+func main() {
+	p, err := kivati.Build(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := kivati.Config{
+		Mode:       kivati.BugFinding, // training uses bug-finding to surface more per run (§2.3)
+		Opt:        kivati.OptOptimized,
+		PauseTicks: 20_000,
+		PauseEvery: 64,
+		Seed:       5,
+	}
+
+	fmt.Println("Training a whitelist (Figure 7 style); `balance` is a real bug and stays monitored:")
+	tr, err := kivati.Train(p, cfg, 6, []string{"balance"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, n := range tr.NewFPs {
+		fmt.Printf("  iteration %d: %d new benign AR(s) whitelisted\n", i+1, n)
+	}
+	fmt.Printf("  whitelist now holds %d AR id(s)\n\n", tr.Whitelist.Len())
+
+	fmt.Println("Deploying with the trained whitelist:")
+	rep, err := kivati.Run(p, kivati.Config{
+		Mode: kivati.Prevention, Opt: kivati.OptOptimized,
+		Whitelist: tr.Whitelist, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	balanceViolations, otherViolations := 0, 0
+	for _, v := range rep.Violations {
+		if v.Var == "balance" {
+			balanceViolations++
+		} else {
+			otherViolations++
+		}
+	}
+	fmt.Printf("  %d violation(s) on the real bug (balance), %d residual false positive(s)\n",
+		balanceViolations, otherViolations)
+	fmt.Printf("  %d annotations skipped in user space thanks to the whitelist\n",
+		rep.Stats.WhitelistSkips)
+}

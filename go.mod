@@ -1,0 +1,3 @@
+module kivati
+
+go 1.22

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"sort"
+
+	"kivati/internal/cfg"
+	"kivati/internal/dataflow"
+	"kivati/internal/minic"
+)
+
+// Pair is one consecutive pair of accesses to the same shared variable — the
+// definition of an atomic region (§2.2). First and Second identify the CFG
+// nodes and the access indices within those nodes' ordered access lists.
+// FirstNode may equal SecondNode (e.g. `s = s + 1`), and, via loop back
+// edges, may lexically follow SecondNode.
+type Pair struct {
+	Key         Key
+	FirstNode   *cfg.Node
+	FirstIdx    int
+	SecondNode  *cfg.Node
+	SecondIdx   int
+	FirstType   uint8 // minic.AccRead / minic.AccWrite
+	SecondType  uint8
+	FirstLvalue minic.Expr // location expression of the first access
+}
+
+// reachingAccess is one element of the data-flow fact set.
+type reachingAccess struct {
+	key  Key
+	node int // CFG node ID
+	idx  int // index into the node's access list
+	typ  uint8
+}
+
+// accessSet is the lattice element: a set of accesses that reach a program
+// point. Join is union, transfer is gen-only — the paper's analysis pairs a
+// shared access with *all* preceding accesses, not just the closest
+// (Figure 4 pairs lines 2–8 despite the intervening access on line 4).
+type accessSet map[reachingAccess]bool
+
+func (s accessSet) Equal(other dataflow.Facts) bool {
+	o := other.(accessSet)
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+type pairAnalysis struct {
+	accesses map[int][]Access // node ID -> ordered shared accesses
+}
+
+func (pairAnalysis) Bottom() dataflow.Facts { return accessSet{} }
+func (pairAnalysis) Entry() dataflow.Facts  { return accessSet{} }
+
+func (pairAnalysis) Join(a, b dataflow.Facts) dataflow.Facts {
+	sa, sb := a.(accessSet), b.(accessSet)
+	if len(sb) == 0 {
+		return sa
+	}
+	out := make(accessSet, len(sa)+len(sb))
+	for k := range sa {
+		out[k] = true
+	}
+	for k := range sb {
+		out[k] = true
+	}
+	return out
+}
+
+func (p pairAnalysis) Transfer(n *cfg.Node, in dataflow.Facts) dataflow.Facts {
+	accs := p.accesses[n.ID]
+	if len(accs) == 0 {
+		return in
+	}
+	out := make(accessSet, len(in.(accessSet))+len(accs))
+	for k := range in.(accessSet) {
+		out[k] = true
+	}
+	for i, a := range accs {
+		out[reachingAccess{key: a.Key, node: n.ID, idx: i, typ: a.Type}] = true
+	}
+	return out
+}
+
+// posBefore reports whether a lexically precedes b.
+func posBefore(a, b minic.Pos) bool {
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Col < b.Col
+}
+
+// Pairs runs the reaching-access analysis over g and returns every
+// consecutive access pair to a shared variable, deterministically ordered.
+// Only variables in the LSV participate.
+func Pairs(g *cfg.Graph, lsv map[string]bool) []Pair {
+	return PairsAdmit(g, func(a Access) (Key, bool) {
+		return a.Key, lsv[a.Key.Name]
+	})
+}
+
+// PairsAdmit is the generalized pairing analysis: admit decides, per access,
+// whether it participates and under which key. The precise-analysis mode
+// (§3.5 extension) uses it to drop non-escaping locals and to fold aliased
+// dereferences onto their pointees.
+func PairsAdmit(g *cfg.Graph, admit func(Access) (Key, bool)) []Pair {
+	return PairsExtra(g, admit, nil)
+}
+
+// PairsExtra additionally lets the caller contribute pseudo-accesses per
+// node — the inter-procedural extension models a call as a compound access
+// to the globals the callee transitively touches. Extra accesses follow the
+// node's own accesses in evaluation order.
+func PairsExtra(g *cfg.Graph, admit func(Access) (Key, bool), extra func(*cfg.Node) []Access) []Pair {
+	pa := pairAnalysis{accesses: map[int][]Access{}}
+	for _, n := range g.Nodes {
+		var shared []Access
+		accs := NodeAccesses(n)
+		if extra != nil {
+			accs = append(accs, extra(n)...)
+		}
+		for _, a := range accs {
+			key, ok := admit(a)
+			if !ok {
+				continue
+			}
+			a.Key = key
+			if a.Pos == (minic.Pos{}) {
+				a.Pos = ExprPos(a.Lvalue)
+			}
+			shared = append(shared, a)
+		}
+		if len(shared) > 0 {
+			pa.accesses[n.ID] = shared
+		}
+	}
+	sol := dataflow.Solve(g, pa)
+
+	byNode := make(map[int]*cfg.Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		byNode[n.ID] = n
+	}
+
+	type pairKey struct {
+		key                      Key
+		fNode, fIdx, sNode, sIdx int
+	}
+	dedup := map[pairKey]bool{}
+	var pairs []Pair
+	add := func(key Key, fNode, fIdx int, fTyp uint8, fLv minic.Expr, sNode, sIdx int, sTyp uint8) {
+		pk := pairKey{key, fNode, fIdx, sNode, sIdx}
+		if dedup[pk] {
+			return
+		}
+		dedup[pk] = true
+		pairs = append(pairs, Pair{
+			Key:         key,
+			FirstNode:   byNode[fNode],
+			FirstIdx:    fIdx,
+			SecondNode:  byNode[sNode],
+			SecondIdx:   sIdx,
+			FirstType:   fTyp,
+			SecondType:  sTyp,
+			FirstLvalue: fLv,
+		})
+	}
+
+	for _, n := range g.Nodes {
+		accs := pa.accesses[n.ID]
+		if len(accs) == 0 {
+			continue
+		}
+		in := sol.In[n.ID].(accessSet)
+		for i, a := range accs {
+			// Pair with accesses reaching from predecessors. Pairs must be
+			// lexically forward: a pair whose "first" access lies after its
+			// "second" in the source can only arise through a loop back
+			// edge, and a begin_atomic that outlives the loop iteration
+			// would hold its watchpoint across arbitrary code (including
+			// blocking in the scheduler), which the paper's Figure 4
+			// forward-only pairs avoid. Same-node self-reach (an access
+			// reaching itself around a loop) is excluded for the same
+			// reason; within-statement pairs come from the ordered
+			// intra-node loop below.
+			for r := range in {
+				if r.key != a.Key || r.node == n.ID {
+					continue
+				}
+				first := pa.accesses[r.node][r.idx]
+				if !posBefore(first.Pos, a.Pos) {
+					continue
+				}
+				add(a.Key, r.node, r.idx, r.typ, first.Lvalue, n.ID, i, a.Type)
+			}
+			// Pair with earlier accesses within the same node.
+			for j := 0; j < i; j++ {
+				if accs[j].Key == a.Key {
+					add(a.Key, n.ID, j, accs[j].Type, accs[j].Lvalue, n.ID, i, a.Type)
+				}
+			}
+		}
+	}
+
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.Key != b.Key {
+			return a.Key.String() < b.Key.String()
+		}
+		if a.FirstNode.ID != b.FirstNode.ID {
+			return a.FirstNode.ID < b.FirstNode.ID
+		}
+		if a.FirstIdx != b.FirstIdx {
+			return a.FirstIdx < b.FirstIdx
+		}
+		if a.SecondNode.ID != b.SecondNode.ID {
+			return a.SecondNode.ID < b.SecondNode.ID
+		}
+		return a.SecondIdx < b.SecondIdx
+	})
+	return pairs
+}

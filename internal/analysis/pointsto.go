@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"sort"
+
+	"kivati/internal/minic"
+)
+
+// This file implements the pointer analysis the paper lists as future work
+// (§3.5): "pointer analysis could be used to better identify shared
+// variables … as well as identify ARs involving local accesses to the same
+// shared variable that occur due to an alias."
+//
+// It is a flow-insensitive, Andersen-style inclusion analysis over the whole
+// program, with two clients:
+//
+//   - PreciseLSV: a variable is shared only if another thread can actually
+//     reach its storage — globals, and locals whose address escapes. The
+//     prototype LSV's "data-flow dependent on a shared variable" rule
+//     over-approximates wildly (a local copy of a shared value is not itself
+//     remotely accessible); the precise rule removes those monitors.
+//   - Resolve: a dereference *p whose points-to set is a single named
+//     variable is keyed as that variable, so aliased accesses pair with
+//     direct ones.
+
+// Ref names a variable: Func is "" for globals.
+type Ref struct {
+	Func string
+	Name string
+}
+
+func (r Ref) String() string {
+	if r.Func == "" {
+		return r.Name
+	}
+	return r.Func + "." + r.Name
+}
+
+// PointsTo is the fixpoint result.
+type PointsTo struct {
+	prog *minic.Program
+	// sets maps a pointer variable to the variables it may point to.
+	sets map[Ref]map[Ref]bool
+	// escaped marks variables whose address is taken anywhere.
+	escaped map[Ref]bool
+}
+
+// constraint is one inclusion edge: pts(src) ⊆ pts(dst); for addr edges the
+// target itself joins pts(dst).
+type constraint struct {
+	dst  Ref
+	src  Ref  // for copy edges
+	addr *Ref // for address-of edges
+}
+
+// ComputePointsTo runs the analysis over the program.
+func ComputePointsTo(prog *minic.Program) *PointsTo {
+	pt := &PointsTo{
+		prog:    prog,
+		sets:    map[Ref]map[Ref]bool{},
+		escaped: map[Ref]bool{},
+	}
+	var cons []constraint
+
+	globals := map[string]bool{}
+	for _, g := range prog.Globals {
+		globals[g.Name] = true
+	}
+	// ref resolves a name in a function scope to its Ref.
+	refOf := func(fn *minic.FuncDecl, name string) Ref {
+		if !globals[name] {
+			return Ref{Func: fn.Name, Name: name}
+		}
+		// A local declaration shadows a global only if declared; MiniC
+		// checkProgram rejects duplicate names within a function, but a
+		// local may share a global's name only by shadowing — scan params
+		// and decls.
+		for _, p := range fn.Params {
+			if p.Name == name {
+				return Ref{Func: fn.Name, Name: name}
+			}
+		}
+		shadowed := false
+		walkDecls(fn.Body, func(d *minic.VarDecl) {
+			if d.Name == name {
+				shadowed = true
+			}
+		})
+		if shadowed {
+			return Ref{Func: fn.Name, Name: name}
+		}
+		return Ref{Name: name}
+	}
+
+	// rhsSources lists the pointer sources of an expression: address-of
+	// targets, pointer variables, and pointer-returning calls (modeled via
+	// per-function return refs).
+	var rhsSources func(fn *minic.FuncDecl, x minic.Expr, out *[]constraint, dst Ref)
+	rhsSources = func(fn *minic.FuncDecl, x minic.Expr, out *[]constraint, dst Ref) {
+		switch e := x.(type) {
+		case *minic.Unary:
+			if e.Op == "&" {
+				switch t := e.X.(type) {
+				case *minic.Ident:
+					r := refOf(fn, t.Name)
+					pt.escaped[r] = true
+					*out = append(*out, constraint{dst: dst, addr: &r})
+				case *minic.Index:
+					r := refOf(fn, t.Name)
+					pt.escaped[r] = true
+					*out = append(*out, constraint{dst: dst, addr: &r})
+				}
+				return
+			}
+			rhsSources(fn, e.X, out, dst)
+		case *minic.Ident:
+			*out = append(*out, constraint{dst: dst, src: refOf(fn, e.Name)})
+		case *minic.Binary:
+			rhsSources(fn, e.X, out, dst)
+			rhsSources(fn, e.Y, out, dst)
+		case *minic.Call:
+			if callee := pt.prog.Func(e.Name); callee != nil {
+				if callee.RetPtr {
+					*out = append(*out, constraint{dst: dst, src: Ref{Func: e.Name, Name: "$ret"}})
+				}
+			}
+		}
+	}
+
+	for _, fn := range prog.Funcs {
+		fn := fn
+		walkStmts(fn.Body, func(s minic.Stmt) {
+			switch st := s.(type) {
+			case *minic.DeclStmt:
+				if st.Decl.Init != nil {
+					rhsSources(fn, st.Decl.Init, &cons, Ref{Func: fn.Name, Name: st.Decl.Name})
+				}
+			case *minic.AssignStmt:
+				if id, ok := st.LHS.(*minic.Ident); ok {
+					rhsSources(fn, st.RHS, &cons, refOf(fn, id.Name))
+				}
+			case *minic.ReturnStmt:
+				if st.X != nil && fn.RetPtr {
+					rhsSources(fn, st.X, &cons, Ref{Func: fn.Name, Name: "$ret"})
+				}
+			case *minic.ExprStmt:
+				// handled below via calls
+			}
+			// Parameter binding for every call in the statement.
+			walkCalls(s, func(c *minic.Call) {
+				callee := prog.Func(c.Name)
+				if callee == nil {
+					return
+				}
+				for i, p := range callee.Params {
+					if i >= len(c.Args) {
+						break
+					}
+					rhsSources(fn, c.Args[i], &cons, Ref{Func: callee.Name, Name: p.Name})
+				}
+			})
+		})
+	}
+
+	// Fixpoint.
+	add := func(dst, pointee Ref) bool {
+		set := pt.sets[dst]
+		if set == nil {
+			set = map[Ref]bool{}
+			pt.sets[dst] = set
+		}
+		if set[pointee] {
+			return false
+		}
+		set[pointee] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range cons {
+			if c.addr != nil {
+				if add(c.dst, *c.addr) {
+					changed = true
+				}
+				continue
+			}
+			for pointee := range pt.sets[c.src] {
+				if add(c.dst, pointee) {
+					changed = true
+				}
+			}
+		}
+	}
+	return pt
+}
+
+// Pointees returns the sorted points-to set of a pointer variable in a
+// function scope ("" for a global pointer).
+func (pt *PointsTo) Pointees(fn, name string) []Ref {
+	r := Ref{Func: fn, Name: name}
+	if _, global := pt.sets[Ref{Name: name}]; global && !pt.isLocal(fn, name) {
+		r = Ref{Name: name}
+	}
+	var out []Ref
+	for p := range pt.sets[r] {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func (pt *PointsTo) isLocal(fn, name string) bool {
+	f := pt.prog.Func(fn)
+	if f == nil {
+		return false
+	}
+	for _, p := range f.Params {
+		if p.Name == name {
+			return true
+		}
+	}
+	found := false
+	walkDecls(f.Body, func(d *minic.VarDecl) {
+		if d.Name == name {
+			found = true
+		}
+	})
+	return found
+}
+
+// Escapes reports whether the variable's address is taken anywhere.
+func (pt *PointsTo) Escapes(fn, name string) bool {
+	if pt.escaped[Ref{Func: fn, Name: name}] {
+		return true
+	}
+	return !pt.isLocal(fn, name) && pt.escaped[Ref{Name: name}]
+}
+
+// Resolve maps a dereference of pointer `name` in function `fn` to a
+// concrete variable when the points-to set is a singleton. ok is false when
+// the target is ambiguous or unknown.
+func (pt *PointsTo) Resolve(fn, name string) (Ref, bool) {
+	ps := pt.Pointees(fn, name)
+	if len(ps) == 1 {
+		return ps[0], true
+	}
+	return Ref{}, false
+}
+
+// PreciseLSV computes the improved list of shared variables for a function:
+// globals plus locals and parameters whose address escapes. A local's stack
+// slot is unreachable from other threads otherwise, so value-dependence
+// alone no longer marks it shared — the big precision win over the
+// prototype LSV. (Dereferences are admitted separately by the pairing's
+// resolver: the *pointee* is shared even when the pointer variable's own
+// slot is private.)
+func PreciseLSV(prog *minic.Program, fn *minic.FuncDecl, pt *PointsTo) map[string]bool {
+	lsv := map[string]bool{}
+	for _, g := range prog.Globals {
+		lsv[g.Name] = true
+	}
+	for _, p := range fn.Params {
+		if pt.Escapes(fn.Name, p.Name) {
+			lsv[p.Name] = true
+		}
+	}
+	walkDecls(fn.Body, func(d *minic.VarDecl) {
+		if pt.Escapes(fn.Name, d.Name) {
+			lsv[d.Name] = true
+		}
+	})
+	return lsv
+}
+
+// AST walking helpers.
+
+func walkStmts(b *minic.Block, f func(minic.Stmt)) {
+	for _, s := range b.Stmts {
+		f(s)
+		switch st := s.(type) {
+		case *minic.IfStmt:
+			walkStmts(st.Then, f)
+			if st.Else != nil {
+				walkStmts(st.Else, f)
+			}
+		case *minic.WhileStmt:
+			walkStmts(st.Body, f)
+		}
+	}
+}
+
+func walkDecls(b *minic.Block, f func(*minic.VarDecl)) {
+	walkStmts(b, func(s minic.Stmt) {
+		if d, ok := s.(*minic.DeclStmt); ok {
+			f(d.Decl)
+		}
+	})
+}
+
+func walkCalls(s minic.Stmt, f func(*minic.Call)) {
+	var walkExpr func(minic.Expr)
+	walkExpr = func(x minic.Expr) {
+		switch e := x.(type) {
+		case *minic.Call:
+			f(e)
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *minic.Unary:
+			walkExpr(e.X)
+		case *minic.Binary:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		case *minic.Index:
+			walkExpr(e.Idx)
+		}
+	}
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		if st.Decl.Init != nil {
+			walkExpr(st.Decl.Init)
+		}
+	case *minic.AssignStmt:
+		walkExpr(st.LHS)
+		walkExpr(st.RHS)
+	case *minic.ExprStmt:
+		walkExpr(st.X)
+	case *minic.ReturnStmt:
+		if st.X != nil {
+			walkExpr(st.X)
+		}
+	case *minic.IfStmt:
+		walkExpr(st.Cond)
+	case *minic.WhileStmt:
+		walkExpr(st.Cond)
+	}
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"testing"
+
+	"kivati/internal/cfg"
+	"kivati/internal/minic"
+)
+
+func TestPointsToBasics(t *testing.T) {
+	prog := mustParse(t, `
+int g1;
+int g2;
+int *gp;
+void f() {
+    int p;
+    int q;
+    int r;
+    p = &g1;
+    q = p;
+    if (g2) {
+        q = &g2;
+    }
+    r = 5;
+}`)
+	pt := ComputePointsTo(prog)
+	if got := pt.Pointees("f", "p"); len(got) != 1 || got[0].Name != "g1" {
+		t.Errorf("pts(p) = %v, want [g1]", got)
+	}
+	if got := pt.Pointees("f", "q"); len(got) != 2 {
+		t.Errorf("pts(q) = %v, want two targets", got)
+	}
+	if got := pt.Pointees("f", "r"); len(got) != 0 {
+		t.Errorf("pts(r) = %v, want empty", got)
+	}
+	if _, ok := pt.Resolve("f", "p"); !ok {
+		t.Error("Resolve(p) should succeed (singleton)")
+	}
+	if _, ok := pt.Resolve("f", "q"); ok {
+		t.Error("Resolve(q) should fail (ambiguous)")
+	}
+	if !pt.Escapes("", "g1") || !pt.Escapes("", "g2") {
+		t.Error("address-taken globals not marked escaped")
+	}
+}
+
+func TestPointsToThroughCallsAndReturns(t *testing.T) {
+	prog := mustParse(t, `
+int g;
+int *mk() {
+    int p;
+    p = &g;
+    return p;
+}
+void callee(int *q) {
+    *q = 1;
+}
+void f() {
+    int r;
+    r = mk();
+    callee(r);
+}`)
+	pt := ComputePointsTo(prog)
+	if got := pt.Pointees("f", "r"); len(got) != 1 || got[0].Name != "g" {
+		t.Errorf("pts(r through return) = %v, want [g]", got)
+	}
+	if got := pt.Pointees("callee", "q"); len(got) != 1 || got[0].Name != "g" {
+		t.Errorf("pts(q through param) = %v, want [g]", got)
+	}
+}
+
+func TestPointsToLocalEscape(t *testing.T) {
+	prog := mustParse(t, `
+int g;
+void sink(int *p) {
+    *p = 0;
+}
+void f() {
+    int kept;
+    int leaked;
+    kept = g;
+    sink(&leaked);
+}`)
+	pt := ComputePointsTo(prog)
+	if pt.Escapes("f", "kept") {
+		t.Error("kept does not escape")
+	}
+	if !pt.Escapes("f", "leaked") {
+		t.Error("leaked escapes via &leaked")
+	}
+	fn := prog.Func("f")
+	lsv := PreciseLSV(prog, fn, pt)
+	if lsv["kept"] {
+		t.Error("precise LSV contains the value-dependent private local")
+	}
+	if !lsv["leaked"] || !lsv["g"] {
+		t.Errorf("precise LSV missing escaping local or global: %v", SortedLSV(lsv))
+	}
+	// The prototype LSV, by contrast, includes kept.
+	if crude := LSV(prog, fn); !crude["kept"] {
+		t.Error("prototype LSV should include the value-dependent local")
+	}
+}
+
+func TestPairsAdmitAliasFolding(t *testing.T) {
+	// An AR formed across an alias: g is read directly and written
+	// through p; with singleton points-to resolution the two accesses
+	// pair — the capability the paper's §3.5 asks for.
+	prog := mustParse(t, `
+int g;
+void f() {
+    int *p;
+    int t;
+    p = &g;
+    t = g;
+    *p = t + 1;
+}`)
+	fn := prog.Func("f")
+	g := cfg.Build(fn)
+	pt := ComputePointsTo(prog)
+	lsv := PreciseLSV(prog, fn, pt)
+	pairs := PairsAdmit(g, func(a Access) (Key, bool) {
+		if a.Key.Deref {
+			if ref, ok := pt.Resolve("f", a.Key.Name); ok && (ref.Func == "" || ref.Func == "f") {
+				return Key{Name: ref.Name}, true
+			}
+			return a.Key, true
+		}
+		return a.Key, lsv[a.Key.Name]
+	})
+	found := false
+	for _, pr := range pairs {
+		if pr.Key == (Key{Name: "g"}) && pr.FirstType == minic.AccRead && pr.SecondType == minic.AccWrite {
+			found = true
+		}
+	}
+	if !found {
+		var got []string
+		for _, pr := range pairs {
+			got = append(got, pairString(pr))
+		}
+		t.Errorf("alias R(g)-W(*p->g) pair not found; pairs: %v", got)
+	}
+	// The crude analysis cannot find it (different keys).
+	crude := Pairs(g, LSV(prog, fn))
+	for _, pr := range crude {
+		if pr.Key == (Key{Name: "g"}) && pr.SecondType == minic.AccWrite && pr.FirstType == minic.AccRead {
+			t.Error("crude analysis unexpectedly paired across the alias")
+		}
+	}
+}
+
+func TestPreciseReducesARCount(t *testing.T) {
+	// A compute-heavy function with many value-dependent locals: the
+	// precise analysis must produce strictly fewer pairs.
+	prog := mustParse(t, `
+int shared;
+void f() {
+    int a;
+    int b;
+    int c;
+    a = shared;
+    b = a * 2;
+    c = b + a;
+    b = c - 1;
+    a = b;
+    shared = a;
+}`)
+	fn := prog.Func("f")
+	g := cfg.Build(fn)
+	crude := len(Pairs(g, LSV(prog, fn)))
+	pt := ComputePointsTo(prog)
+	lsv := PreciseLSV(prog, fn, pt)
+	precise := len(PairsAdmit(g, func(a Access) (Key, bool) {
+		return a.Key, !a.Key.Deref && lsv[a.Key.Name]
+	}))
+	if precise >= crude {
+		t.Errorf("precise pairs (%d) not below crude (%d)", precise, crude)
+	}
+	if precise == 0 {
+		t.Error("precise analysis dropped the real shared AR")
+	}
+}

@@ -1,0 +1,364 @@
+package annotate
+
+import (
+	"strings"
+	"testing"
+
+	"kivati/internal/cfg"
+	"kivati/internal/hw"
+	"kivati/internal/minic"
+)
+
+func mustAnnotate(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ap, err := Annotate(prog)
+	if err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	return ap
+}
+
+// TestFigure1 annotates the paper's Figure 1 Firefox bug pattern: check
+// NULL, then assign — a (R, W) pair watching remote writes.
+func TestFigure1(t *testing.T) {
+	ap := mustAnnotate(t, `
+int shared_ptr;
+void update() {
+    if (shared_ptr == 0) {
+        shared_ptr = 42;
+    }
+}`)
+	var found *AR
+	for _, ar := range ap.ARs {
+		if ar.Key.Name == "shared_ptr" && ar.First == hw.Read && ar.Second == hw.Write {
+			found = ar
+		}
+	}
+	if found == nil {
+		t.Fatalf("no R-W AR on shared_ptr; ARs:\n%s", Describe(ap))
+	}
+	if found.Watch != hw.Write {
+		t.Errorf("watch type = %v, want W (Figure 6 R/W quadrant)", found.Watch)
+	}
+	if found.FirstNode.Kind != cfg.KindCond {
+		t.Errorf("first access node kind = %v, want condition", found.FirstNode.Kind)
+	}
+}
+
+// TestFigure3 reproduces the paper's Figure 3 annotation placement: two
+// overlapping ARs on two different shared variables.
+func TestFigure3(t *testing.T) {
+	ap := mustAnnotate(t, `
+int shared1;
+int shared2;
+void f() {
+    int t1;
+    int t2;
+    t1 = shared1;
+    t2 = shared2;
+    shared1 = t1 + 1;
+    shared2 = t2 + 1;
+}`)
+	var s1, s2 []*AR
+	for _, ar := range ap.ARs {
+		switch ar.Key.Name {
+		case "shared1":
+			s1 = append(s1, ar)
+		case "shared2":
+			s2 = append(s2, ar)
+		}
+	}
+	if len(s1) != 1 || len(s2) != 1 {
+		t.Fatalf("want exactly one AR per shared var, got %d and %d:\n%s", len(s1), len(s2), Describe(ap))
+	}
+	// The printed form shows begin(1) before begin(2) and end(1) before
+	// end(2) — overlapping regions as in Figure 3.
+	out := PrintAnnotated(ap)
+	i1 := strings.Index(out, "begin_atomic(1")
+	i2 := strings.Index(out, "begin_atomic(2")
+	e1 := strings.Index(out, "end_atomic(1")
+	e2 := strings.Index(out, "end_atomic(2")
+	if !(i1 >= 0 && i2 > i1 && e1 > i2 && e2 > e1) {
+		t.Errorf("annotation order wrong (overlapping ARs):\n%s", out)
+	}
+}
+
+// TestFigure4 reproduces Figure 4: three pairs from three accesses, one
+// access serving as both the second access of AR 1 and the first of AR 2.
+func TestFigure4(t *testing.T) {
+	ap := mustAnnotate(t, `
+int shared;
+void f() {
+    int tmp;
+    tmp = shared;
+    if (tmp == 0) {
+        shared = 1;
+    }
+    tmp = shared;
+}`)
+	var ars []*AR
+	for _, ar := range ap.ARs {
+		if ar.Key.Name == "shared" {
+			ars = append(ars, ar)
+		}
+	}
+	if len(ars) != 3 {
+		t.Fatalf("want 3 ARs on shared, got %d:\n%s", len(ars), Describe(ap))
+	}
+	// One node must carry both an end (of the R-W AR) and a begin (of the
+	// W-R AR): the write statement.
+	fa := ap.FuncAnnotations("f")
+	both := 0
+	for n := range fa.Begin {
+		if len(fa.End[n]) > 0 && n.Kind == cfg.KindStmt {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Error("no node is both an AR end and an AR begin (Figure 4 line 4 case)")
+	}
+}
+
+// TestWatchTypesPerFigure6: each local pair gets the right remote watch
+// types.
+func TestWatchTypesPerFigure6(t *testing.T) {
+	ap := mustAnnotate(t, `
+int a;
+void rr() { int t; int u; t = a; u = a; }
+void ww() { a = 1; a = 2; }
+void rw() { int t; t = a; a = t; }
+void wr() { int t; a = 1; t = a; }`)
+	want := map[string]hw.AccessType{
+		"rr": hw.Write, "ww": hw.Read, "rw": hw.Write, "wr": hw.Write,
+	}
+	seen := map[string]bool{}
+	for _, ar := range ap.ARs {
+		if ar.Key.Name != "a" {
+			continue
+		}
+		w, ok := want[ar.Func]
+		if !ok {
+			continue
+		}
+		seen[ar.Func] = true
+		if ar.Watch != w {
+			t.Errorf("%s: watch = %v, want %v (%v-%v pair)", ar.Func, ar.Watch, w, ar.First, ar.Second)
+		}
+	}
+	for f := range want {
+		if !seen[f] {
+			t.Errorf("no AR found in %s", f)
+		}
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	ap := mustAnnotate(t, `
+int a;
+int b;
+void f() { a = a + 1; }
+void g() { b = b + 1; a = a + b; }`)
+	ids := map[int]bool{}
+	for i, ar := range ap.ARs {
+		if ar.ID != i+1 {
+			t.Errorf("ARs[%d].ID = %d, want %d", i, ar.ID, i+1)
+		}
+		if ids[ar.ID] {
+			t.Errorf("duplicate AR ID %d", ar.ID)
+		}
+		ids[ar.ID] = true
+		if got := ap.ByID(ar.ID); got != ar {
+			t.Errorf("ByID(%d) mismatch", ar.ID)
+		}
+	}
+	if ap.ByID(0) != nil || ap.ByID(len(ap.ARs)+1) != nil {
+		t.Error("ByID out of range should return nil")
+	}
+}
+
+func TestStats(t *testing.T) {
+	ap := mustAnnotate(t, `
+int a;
+void f() { a = a + 1; }`)
+	st := ap.Stats()
+	if st.Funcs != 1 {
+		t.Errorf("Funcs = %d", st.Funcs)
+	}
+	if st.ARs == 0 || st.SharedVars == 0 {
+		t.Errorf("Stats = %+v, want nonzero ARs and SharedVars", st)
+	}
+}
+
+func TestPrintAnnotatedParses(t *testing.T) {
+	// The annotated output (with pseudo-calls) should at least contain a
+	// clear_ar per function and balanced begin/end counts.
+	ap := mustAnnotate(t, `
+int s;
+void f() {
+    int t;
+    t = s;
+    s = t + 1;
+}
+void g() {
+    s = 0;
+}`)
+	out := PrintAnnotated(ap)
+	if got := strings.Count(out, "clear_ar()"); got != 2 {
+		t.Errorf("clear_ar count = %d, want 2\n%s", got, out)
+	}
+	if b, e := strings.Count(out, "begin_atomic("), strings.Count(out, "end_atomic("); b != e || b == 0 {
+		t.Errorf("begin/end counts = %d/%d\n%s", b, e, out)
+	}
+}
+
+// TestSharedPage: a function with no shared accesses gets no ARs.
+func TestNoARsForPureLocal(t *testing.T) {
+	ap := mustAnnotate(t, `
+void f(int a) {
+    int x;
+    x = a + 1;
+    x = x * 2;
+}`)
+	if len(ap.ARs) != 0 {
+		t.Errorf("pure-local function produced ARs:\n%s", Describe(ap))
+	}
+}
+
+// TestBothWatchUnion: when the same first access starts two ARs with
+// different second access types (read on one path, write on another), the
+// two ARs' watch types differ and their union covers both — the Figure 6
+// bottom-right case realized via the watchpoint union rule.
+func TestBothWatchUnion(t *testing.T) {
+	ap := mustAnnotate(t, `
+int s;
+void f(int c) {
+    s = 1;
+    if (c) {
+        s = 2;
+    } else {
+        int t;
+        t = s;
+    }
+}`)
+	var fromFirstWrite []*AR
+	for _, ar := range ap.ARs {
+		if ar.Key.Name == "s" && ar.First == hw.Write && ar.FirstNode.Kind == cfg.KindStmt {
+			// the W@s=1 node starts two ARs
+			fromFirstWrite = append(fromFirstWrite, ar)
+		}
+	}
+	var union hw.AccessType
+	secTypes := map[hw.AccessType]bool{}
+	for _, ar := range fromFirstWrite {
+		union |= ar.Watch
+		secTypes[ar.Second] = true
+	}
+	if !secTypes[hw.Read] || !secTypes[hw.Write] {
+		t.Fatalf("expected ARs with both second types from the first write; got %v", fromFirstWrite)
+	}
+	if union != hw.ReadWrite {
+		t.Errorf("union of watch types = %v, want RW", union)
+	}
+}
+
+func TestDescribeAndString(t *testing.T) {
+	ap := mustAnnotate(t, "int s;\nvoid f() { s = s + 1; }")
+	out := Describe(ap)
+	if !strings.Contains(out, "AR1") || !strings.Contains(out, "f.s") {
+		t.Errorf("Describe output = %q", out)
+	}
+	if got := ap.ARs[0].String(); !strings.Contains(got, "watch=") {
+		t.Errorf("AR.String() = %q", got)
+	}
+}
+
+func TestPrintAnnotatedWithNestedControlFlow(t *testing.T) {
+	ap := mustAnnotate(t, `
+int s;
+void f(int c) {
+    int t;
+    t = s;
+    while (c > 0) {
+        if (t > 2) {
+            s = t;
+        } else {
+            s = 0;
+        }
+        c = c - 1;
+    }
+    t = s;
+}`)
+	out := PrintAnnotated(ap)
+	if b, e := strings.Count(out, "begin_atomic("), strings.Count(out, "end_atomic("); b != e || b == 0 {
+		t.Errorf("begin/end = %d/%d\n%s", b, e, out)
+	}
+	// Nested blocks must be preserved.
+	if !strings.Contains(out, "while (") || !strings.Contains(out, "else {") {
+		t.Errorf("control flow lost:\n%s", out)
+	}
+}
+
+func TestAnnotateWithOptionsPrecise(t *testing.T) {
+	src := `
+int g;
+void f() {
+    int copy;
+    copy = g;
+    copy = copy + 1;
+    g = copy;
+}`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crude, err := AnnotateWithOptions(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise, err := AnnotateWithOptions(prog, Options{Precise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(precise.ARs) >= len(crude.ARs) {
+		t.Errorf("precise ARs (%d) not below crude (%d)", len(precise.ARs), len(crude.ARs))
+	}
+	for _, ar := range precise.ARs {
+		if ar.Key.Name == "copy" {
+			t.Error("precise mode monitored the private local")
+		}
+	}
+}
+
+func TestAnnotateWithOptionsInterProcedural(t *testing.T) {
+	src := `
+int g;
+void helper() {
+    g = 1;
+}
+void f() {
+    int t;
+    t = g;
+    helper();
+}`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := AnnotateWithOptions(prog, Options{InterProcedural: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ar := range inter.ARs {
+		if ar.Func == "f" && ar.Key.Name == "g" && ar.First == hw.Read && ar.Second == hw.Write {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no call-spanning R-W AR in f:\n%s", Describe(inter))
+	}
+}

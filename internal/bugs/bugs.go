@@ -1,0 +1,400 @@
+// Package bugs provides the 11-bug corpus of the paper's Table 6: known
+// atomicity-violation bugs from the Apache, Mozilla NSS and MySQL bug
+// databases, each modeled here as a MiniC program of the same *bug class*
+// (lost update, check-then-act on a shared pointer, torn multi-field update,
+// reference-count double decrement, …).
+//
+// Detection-time behaviour is governed by two knobs per bug, mirroring what
+// made the real bugs slow to reproduce: how rarely the triggering input
+// reaches the vulnerable code (the gate — most of each iteration is private
+// compute), and how wide the vulnerable window between the two accesses is
+// (the pad). Wide-window bugs manifest in prevention mode within the 90
+// scaled-minute cap; narrow-window bugs only under bug-finding pauses — the
+// paper's "-" rows.
+package bugs
+
+import (
+	"fmt"
+
+	"kivati/internal/core"
+)
+
+// Bug is one corpus entry.
+type Bug struct {
+	App         string
+	ID          string // the paper's bug-database ID
+	Class       string
+	Description string
+	Source      string
+	// BugVars are the shared variables whose violation *is* the bug; a
+	// violation on any of them counts as detection.
+	BugVars []string
+	// Paper's Table 6 detection times (mm:ss; "-" = no manifestation in
+	// 90 minutes) for prevention, bug-finding 20 ms and 50 ms.
+	PaperPrev, Paper20, Paper50 string
+}
+
+// driver wraps a bug body in the standard harness: two threads loop doing
+// private compute, and only when the compute hash passes the gate do they
+// apply the triggering input. The run ends at detection or the time cap.
+func driver(globals, trigger string, gate int) string {
+	return fmt.Sprintf(`%s
+int bug_done;
+int bug_lk;
+
+int churn(int v) {
+    int x;
+    int j;
+    x = v + 10007;
+    j = 0;
+    while (j < 40) {
+        x = x * 31 + j;
+        x = x ^ (x >> 7);
+        j = j + 1;
+    }
+    if (x < 0) {
+        x = 0 - x;
+    }
+    return x;
+}
+%s
+void racer(int id) {
+    int i;
+    int w;
+    i = 0;
+    while (i < 100000000) {
+        w = churn(id * 65537 + i);
+        if (w %% %d == 0) {
+            trigger(id, i);
+        }
+        i = i + 1;
+    }
+    lock(bug_lk);
+    bug_done = bug_done + 1;
+    unlock(bug_lk);
+}
+void main() {
+    spawn(racer, 1);
+    racer(2);
+    while (bug_done < 2) {
+        yield();
+    }
+}
+`, globals, trigger, gate)
+}
+
+// pad returns a compute loop of the given width, used to widen or narrow the
+// vulnerable window between a bug's two accesses. The loop variable j must
+// be declared by the caller.
+func pad(v string, rounds int) string {
+	if rounds <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(`    j = 0;
+    while (j < %d) {
+        %s = %s * 31 + j;
+        j = j + 1;
+    }
+`, rounds, v, v)
+}
+
+// Corpus returns all 11 bugs in the paper's Table 6 order.
+func Corpus() []*Bug {
+	return []*Bug{
+		apache44402(), apache21287(), apache25520(),
+		nss341323(), nss329072(), nss225525(),
+		nss270689(), nss169296(), nss201134(),
+		mysql19938(), mysql25306(),
+	}
+}
+
+// ByID returns the bug with the given app/id.
+func ByID(app, id string) (*Bug, error) {
+	for _, b := range Corpus() {
+		if b.App == app && b.ID == id {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bugs: no bug %s %s", app, id)
+}
+
+// apache44402: the log-buffer index lost update — rare trigger (log writes
+// on a cold path), moderate window; found late in prevention mode.
+func apache44402() *Bug {
+	src := driver(`
+int log_off;
+int log_buf[16];
+`, `
+void trigger(int id, int i) {
+    int off;
+    int j;
+    int msg;
+    msg = id * 7 + i;
+    off = log_off;
+`+pad("msg", 12)+`
+    log_buf[off % 16] = msg;
+    log_off = off + 1;
+}
+`, 113)
+	return &Bug{
+		App: "Apache", ID: "44402", Class: "lost update",
+		Description: "buffered log write: offset read and update are not atomic, entries overwrite each other",
+		Source:      src, BugVars: []string{"log_off"},
+		PaperPrev: "66:59", Paper20: "8:01", Paper50: "8:23",
+	}
+}
+
+// apache21287: the cache-entry reference count double decrement — adjacent
+// statements, an extremely narrow window; the paper never saw it in
+// prevention mode.
+func apache21287() *Bug {
+	src := driver(`
+int entry_ref;
+int entry_freed;
+`, `
+void trigger(int id, int i) {
+    int r;
+    if (i % 2 == 0) {
+        entry_ref = 2;
+    }
+    r = entry_ref;
+    entry_ref = r - 1;
+    if (r - 1 == 0) {
+        entry_freed = entry_freed + 1;
+    }
+}
+`, 560)
+	return &Bug{
+		App: "Apache", ID: "21287", Class: "double decrement / double free",
+		Description: "cache entry refcount decrement is not atomic; two threads both reach zero and free twice",
+		Source:      src, BugVars: []string{"entry_ref"},
+		PaperPrev: "-", Paper20: "13:30", Paper50: "17:20",
+	}
+}
+
+// apache25520: torn two-field log line — the pointer is invalidated and
+// republished back-to-back; narrow window, prevention never saw it.
+func apache25520() *Bug {
+	src := driver(`
+int line_ptr;
+int line_len;
+`, `
+void trigger(int id, int i) {
+    int p;
+    int l;
+    if (i % 2 == 0) {
+        line_ptr = 0;
+        line_ptr = id * 1000 + i;
+        line_len = id;
+    } else {
+        p = line_ptr;
+        l = line_len;
+    }
+}
+`, 73)
+	return &Bug{
+		App: "Apache", ID: "25520", Class: "torn multi-field update",
+		Description: "log line pointer and length updated non-atomically; readers observe mismatched pairs",
+		Source:      src, BugVars: []string{"line_ptr"},
+		PaperPrev: "-", Paper20: "4:49", Paper50: "7:33",
+	}
+}
+
+// nss341323: the Figure 1 pattern — check a shared pointer for NULL, then
+// initialize it, with the allocation work in between.
+func nss341323() *Bug {
+	src := driver(`
+int sess_ptr;
+int inits;
+`, `
+void trigger(int id, int i) {
+    int p;
+    int j;
+    if (i % 4 == 0) {
+        sess_ptr = 0;
+    }
+    if (sess_ptr == 0) {
+        p = id * 100 + 1;
+`+pad("p", 12)+`
+        sess_ptr = p;
+        inits = inits + 1;
+    }
+}
+`, 53)
+	return &Bug{
+		App: "NSS", ID: "341323", Class: "check-then-act (Figure 1)",
+		Description: "shared pointer NULL-checked then assigned without a lock; both threads initialize",
+		Source:      src, BugVars: []string{"sess_ptr"},
+		PaperPrev: "12:25", Paper20: "2:59", Paper50: "2:05",
+	}
+}
+
+// nss329072: init-once flag race with a wide window and frequent trigger —
+// the fastest-found bug in the paper.
+func nss329072() *Bug {
+	src := driver(`
+int initialized;
+int table;
+`, `
+void trigger(int id, int i) {
+    int v;
+    int j;
+    if (i % 2 == 0) {
+        initialized = 0;
+    }
+    if (initialized == 0) {
+        v = id;
+`+pad("v", 20)+`
+        table = v;
+        initialized = 1;
+    }
+}
+`, 19)
+	return &Bug{
+		App: "NSS", ID: "329072", Class: "double initialization",
+		Description: "module init flag checked and set non-atomically; the table is built twice",
+		Source:      src, BugVars: []string{"initialized"},
+		PaperPrev: "1:40", Paper20: "0:16", Paper50: "0:17",
+	}
+}
+
+// nss225525: unlocked statistics counter lost update.
+func nss225525() *Bug {
+	src := driver(`
+int ssl_handshakes;
+`, `
+void trigger(int id, int i) {
+    int c;
+    int j;
+    c = ssl_handshakes;
+`+pad("c", 10)+`
+    ssl_handshakes = c + 1;
+}
+`, 150)
+	return &Bug{
+		App: "NSS", ID: "225525", Class: "lost update",
+		Description: "handshake counter increment unprotected; concurrent updates are lost",
+		Source:      src, BugVars: []string{"ssl_handshakes"},
+		PaperPrev: "4:41", Paper20: "2:21", Paper50: "3:09",
+	}
+}
+
+// nss270689: freelist head pop — read the head, compute, detach.
+func nss270689() *Bug {
+	src := driver(`
+int freelist;
+int popped;
+`, `
+void trigger(int id, int i) {
+    int head;
+    int j;
+    if (i % 3 == 0) {
+        freelist = i + 10;
+    }
+    if (freelist != 0) {
+        head = freelist;
+`+pad("head", 9)+`
+        freelist = 0;
+        popped = popped + 1;
+    }
+}
+`, 70)
+	return &Bug{
+		App: "NSS", ID: "270689", Class: "container pop race",
+		Description: "arena freelist pop is not atomic; two threads pop the same block",
+		Source:      src, BugVars: []string{"freelist"},
+		PaperPrev: "2:00", Paper20: "0:33", Paper50: "0:56",
+	}
+}
+
+// nss169296: narrow TOCTOU on a session flag — adjacent test-and-set; the
+// paper's prevention mode never saw it.
+func nss169296() *Bug {
+	src := driver(`
+int sess_flag;
+`, `
+void trigger(int id, int i) {
+    if (sess_flag == 0) {
+        sess_flag = id;
+    }
+    sess_flag = 0;
+}
+`, 260)
+	return &Bug{
+		App: "NSS", ID: "169296", Class: "narrow check-then-act",
+		Description: "session flag tested and set back-to-back on a rare path; window of a few instructions",
+		Source:      src, BugVars: []string{"sess_flag"},
+		PaperPrev: "-", Paper20: "10:19", Paper50: "7:40",
+	}
+}
+
+// nss201134: slow accumulation race — moderate window but very infrequent
+// trigger, found late in prevention mode.
+func nss201134() *Bug {
+	src := driver(`
+int cert_cache_sz;
+`, `
+void trigger(int id, int i) {
+    int sz;
+    int j;
+    sz = cert_cache_sz;
+`+pad("sz", 8)+`
+    cert_cache_sz = sz + 1;
+}
+`, 520)
+	return &Bug{
+		App: "NSS", ID: "201134", Class: "lost update (infrequent)",
+		Description: "certificate cache size updated racily on a cold path",
+		Source:      src, BugVars: []string{"cert_cache_sz"},
+		PaperPrev: "52:45", Paper20: "9:27", Paper50: "7:33",
+	}
+}
+
+// mysql19938: row-count maintenance race on insert.
+func mysql19938() *Bug {
+	src := driver(`
+int row_count;
+int rows[8];
+`, `
+void trigger(int id, int i) {
+    int n;
+    int j;
+    n = row_count;
+`+pad("n", 11)+`
+    rows[n % 8] = id * 10 + i;
+    row_count = n + 1;
+}
+`, 180)
+	return &Bug{
+		App: "MySQL", ID: "19938", Class: "lost update",
+		Description: "table row count read then written around the row insert; inserts overwrite",
+		Source:      src, BugVars: []string{"row_count"},
+		PaperPrev: "8:53", Paper20: "1:50", Paper50: "1:26",
+	}
+}
+
+// mysql25306: binlog sequence race — moderate window, less frequent.
+func mysql25306() *Bug {
+	src := driver(`
+int binlog_seq;
+int binlog[8];
+`, `
+void trigger(int id, int i) {
+    int s;
+    int j;
+    s = binlog_seq;
+`+pad("s", 11)+`
+    binlog[s % 8] = id;
+    binlog_seq = s + 1;
+}
+`, 340)
+	return &Bug{
+		App: "MySQL", ID: "25306", Class: "lost update",
+		Description: "binlog sequence number claimed non-atomically; events share a slot",
+		Source:      src, BugVars: []string{"binlog_seq"},
+		PaperPrev: "11:15", Paper20: "2:44", Paper50: "3:20",
+	}
+}
+
+// Starts returns the thread entry configuration for a bug program.
+func (b *Bug) Starts() []core.Start { return []core.Start{{Fn: "main"}} }

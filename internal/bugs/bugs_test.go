@@ -1,0 +1,114 @@
+package bugs
+
+import (
+	"testing"
+
+	"kivati/internal/core"
+	"kivati/internal/kernel"
+	"kivati/internal/trace"
+)
+
+func TestCorpusComplete(t *testing.T) {
+	c := Corpus()
+	if len(c) != 11 {
+		t.Fatalf("corpus has %d bugs, want 11", len(c))
+	}
+	apps := map[string]int{}
+	ids := map[string]bool{}
+	for _, b := range c {
+		apps[b.App]++
+		key := b.App + b.ID
+		if ids[key] {
+			t.Errorf("duplicate bug %s", key)
+		}
+		ids[key] = true
+		if len(b.BugVars) == 0 {
+			t.Errorf("%s %s: no bug variables", b.App, b.ID)
+		}
+		if b.PaperPrev == "" || b.Paper20 == "" || b.Paper50 == "" {
+			t.Errorf("%s %s: missing paper reference times", b.App, b.ID)
+		}
+	}
+	if apps["Apache"] != 3 || apps["NSS"] != 6 || apps["MySQL"] != 2 {
+		t.Errorf("per-app counts = %v, want Apache 3 / NSS 6 / MySQL 2 (Table 6)", apps)
+	}
+}
+
+func TestAllBugsBuild(t *testing.T) {
+	for _, b := range Corpus() {
+		if _, err := core.Build(b.Source); err != nil {
+			t.Errorf("%s %s: %v\n%s", b.App, b.ID, err, b.Source)
+		}
+	}
+}
+
+func TestBugARsCoverBugVars(t *testing.T) {
+	// Every bug variable must have at least one AR so its violation is
+	// detectable.
+	for _, b := range Corpus() {
+		p, err := core.Build(b.Source)
+		if err != nil {
+			t.Fatalf("%s %s: %v", b.App, b.ID, err)
+		}
+		for _, v := range b.BugVars {
+			found := false
+			for _, ar := range p.Annotated.ARs {
+				if ar.Key.Name == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s %s: no AR on bug variable %q", b.App, b.ID, v)
+			}
+		}
+	}
+}
+
+// TestBugManifestsUnderBugFinding: a representative wide-window bug is
+// detected quickly in bug-finding mode.
+func TestBugManifestsUnderBugFinding(t *testing.T) {
+	b, err := ByID("NSS", "329072")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(b.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bugVars := map[string]bool{}
+	for _, v := range b.BugVars {
+		bugVars[v] = true
+	}
+	detected := false
+	res, err := core.Run(p, core.RunConfig{
+		Mode:       kernel.BugFinding,
+		Opt:        kernel.OptBase,
+		PauseTicks: 20_000,
+		PauseEvery: 16,
+		Seed:       3,
+		MaxTicks:   80_000_000,
+		OnViolation: func(v trace.Violation) bool {
+			if bugVars[v.Var] {
+				detected = true
+				return true
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !detected {
+		t.Errorf("bug not detected within %d ticks (reason %s, %d violations, stats %+v)",
+			res.Ticks, res.Reason, len(res.Violations), *res.Stats)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("Apache", "44402"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("Apache", "0"); err == nil {
+		t.Error("want error for unknown bug")
+	}
+}

@@ -1,0 +1,226 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"kivati/internal/annotate"
+	"kivati/internal/isa"
+	"kivati/internal/minic"
+)
+
+func build(t *testing.T, src string, opts Options) *Binary {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ap, err := annotate.Annotate(prog)
+	if err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	bin, err := Compile(ap, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return bin
+}
+
+func disasm(t *testing.T, bin *Binary) string {
+	t.Helper()
+	lines, err := isa.Disassemble(bin.Code)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	return strings.Join(lines, "\n")
+}
+
+const simpleSrc = `
+int s;
+int lk;
+void f() {
+    int t;
+    t = s;
+    lock(lk);
+    s = t + 1;
+    unlock(lk);
+}`
+
+func TestCompileDecodes(t *testing.T) {
+	bin := build(t, simpleSrc, Options{Annotate: true})
+	// The whole binary must decode cleanly (Disassemble walks every
+	// instruction).
+	text := disasm(t, bin)
+	for _, want := range []string{"SYS begin_atomic", "SYS end_atomic", "SYS clear_ar", "SYS lock", "SYS unlock", "RET"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
+
+func TestVanillaHasNoAnnotations(t *testing.T) {
+	bin := build(t, simpleSrc, Options{Annotate: false})
+	text := disasm(t, bin)
+	for _, bad := range []string{"begin_atomic", "end_atomic", "clear_ar"} {
+		if strings.Contains(text, bad) {
+			t.Errorf("vanilla binary contains %q", bad)
+		}
+	}
+	if !strings.Contains(text, "SYS lock") {
+		t.Error("vanilla binary lost the lock call")
+	}
+}
+
+func TestGlobalLayout(t *testing.T) {
+	bin := build(t, "int a;\nint b = 9;\nint arr[3];\nint c;\nvoid f() { }", Options{})
+	if bin.Globals["a"] != GlobalsBase {
+		t.Errorf("a at %#x", bin.Globals["a"])
+	}
+	if bin.Globals["b"] != GlobalsBase+8 {
+		t.Errorf("b at %#x", bin.Globals["b"])
+	}
+	if bin.Globals["arr"] != GlobalsBase+16 {
+		t.Errorf("arr at %#x", bin.Globals["arr"])
+	}
+	if bin.Globals["c"] != GlobalsBase+16+24 {
+		t.Errorf("c at %#x (array must occupy 3 slots)", bin.Globals["c"])
+	}
+	if bin.InitMem[bin.Globals["b"]] != 9 {
+		t.Errorf("b init = %d", bin.InitMem[bin.Globals["b"]])
+	}
+}
+
+func TestSyncVarsCollected(t *testing.T) {
+	bin := build(t, simpleSrc, Options{Annotate: true})
+	if !bin.SyncVars["lk"] {
+		t.Errorf("SyncVars = %v, want lk", bin.SyncVars)
+	}
+	if bin.SyncVars["s"] {
+		t.Error("s wrongly marked as sync var")
+	}
+}
+
+func TestBoundaryTableCoversStores(t *testing.T) {
+	bin := build(t, simpleSrc, Options{Annotate: true})
+	if bin.Boundary.NumAccessInstrs() == 0 {
+		t.Fatal("boundary table empty")
+	}
+	// Every function entry is recorded.
+	for name, pc := range bin.Funcs {
+		if !bin.Boundary.IsFuncEntry(pc) {
+			t.Errorf("entry of %s (%#x) not in boundary table", name, pc)
+		}
+	}
+}
+
+func TestShadowWritesEmitted(t *testing.T) {
+	// s = 1; t = s  gives a (W,R) AR on s, so the store must be
+	// duplicated into the shadow page when ShadowWrites is on.
+	src := "int s;\nvoid f() { int t; s = 1; t = s; }"
+	with := build(t, src, Options{Annotate: true, ShadowWrites: true})
+	without := build(t, src, Options{Annotate: true})
+	sAddr := with.Globals["s"]
+	dWith := disasm(t, with)
+	dWithout := disasm(t, without)
+	shadowStore := "ST8 [" + hex(sAddr+ShadowDelta) + "]"
+	if !strings.Contains(dWith, shadowStore) {
+		t.Errorf("shadow store %s missing:\n%s", shadowStore, dWith)
+	}
+	if strings.Contains(dWithout, shadowStore) {
+		t.Error("shadow store emitted without ShadowWrites")
+	}
+}
+
+func hex(v uint32) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0x0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return "0x" + string(buf[i:])
+}
+
+func TestPosAt(t *testing.T) {
+	bin := build(t, simpleSrc, Options{Annotate: true})
+	pc := bin.Funcs["f"]
+	pos, ok := bin.PosAt(pc + 1)
+	if !ok || pos.Line == 0 {
+		t.Errorf("PosAt(%#x) = %v, %v", pc+1, pos, ok)
+	}
+	if _, ok := bin.PosAt(0); ok {
+		t.Error("PosAt(0) should miss (exit stub)")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	bin := build(t, "int a;\nvoid f() { a = 1; }\nvoid g() { a = 2; }", Options{})
+	if got := bin.FuncAt(bin.Funcs["f"]); got != "f" {
+		t.Errorf("FuncAt(f) = %q", got)
+	}
+	if got := bin.FuncAt(bin.Funcs["g"] + 3); got != "g" {
+		t.Errorf("FuncAt(g+3) = %q", got)
+	}
+}
+
+func TestTooManyParams(t *testing.T) {
+	src := "void f(int a, int b, int c, int d, int e, int g, int h) { }"
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, _ := annotate.Annotate(prog)
+	if _, err := Compile(ap, Options{}); err == nil {
+		t.Error("want error for >6 parameters")
+	}
+}
+
+func TestStackTop(t *testing.T) {
+	if StackTop(0) != StackBase+StackSize {
+		t.Error("StackTop(0) wrong")
+	}
+	if StackTop(MaxThreads-1)+0 > ShadowDelta {
+		t.Error("stacks overflow into shadow region")
+	}
+}
+
+func TestSpawnUsesEntryPC(t *testing.T) {
+	bin := build(t, `
+int x;
+void w(int id) { x = id; }
+void main() { spawn(w, 3); }`, Options{})
+	text := disasm(t, bin)
+	if !strings.Contains(text, "SYS spawn") {
+		t.Error("spawn syscall missing")
+	}
+	// The MOVL feeding spawn must carry w's entry PC.
+	wpc := int64(bin.Funcs["w"])
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "MOVL r0, ") && strings.HasSuffix(line, itoa(wpc)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no MOVL r0, %d (entry of w) found:\n%s", wpc, text)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

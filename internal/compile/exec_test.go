@@ -1,0 +1,258 @@
+package compile_test
+
+// Execution-level tests of the code generator: each construct is compiled
+// and run on the VM, asserting observable results. (The vm package's
+// differential tests fuzz the same surface; these pin each construct
+// individually so a failure names the construct.)
+
+import (
+	"testing"
+
+	"kivati/internal/annotate"
+	"kivati/internal/compile"
+	"kivati/internal/kernel"
+	"kivati/internal/minic"
+	"kivati/internal/vm"
+)
+
+func exec(t *testing.T, src string, opts compile.Options, kcfg kernel.Config) []int64 {
+	t.Helper()
+	prog, err := annotateSrc(t, src)
+	if err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	bin, err := compile.Compile(prog, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if kcfg.NumWatchpoints == 0 {
+		kcfg.NumWatchpoints = 4
+	}
+	k := kernel.New(kcfg, nil, nil, nil)
+	m, err := vm.New(bin, k, vm.Config{Cores: 2, Seed: 1, MaxTicks: 50_000_000})
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	if _, err := m.Start("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if len(res.Faults) > 0 {
+		t.Fatalf("faults: %v", res.Faults)
+	}
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q", res.Reason)
+	}
+	return res.Output
+}
+
+func annotateSrc(t *testing.T, src string) (*annotate.Program, error) {
+	t.Helper()
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return annotate.Annotate(prog)
+}
+
+func wantOutput(t *testing.T, got []int64, want ...int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("output[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllBinaryOps(t *testing.T) {
+	src := `
+void main() {
+    int a;
+    int b;
+    a = 29;
+    b = 5;
+    print(a + b);
+    print(a - b);
+    print(a * b);
+    print(a / b);
+    print(a % b);
+    print(a & b);
+    print(a | b);
+    print(a ^ b);
+    print(a << 2);
+    print(a >> 2);
+    print(a == b);
+    print(a != b);
+    print(a < b);
+    print(a <= b);
+    print(a > b);
+    print(a >= b);
+    print(a && 0);
+    print(a && b);
+    print(0 || 0);
+    print(0 || b);
+}`
+	got := exec(t, src, compile.Options{}, kernel.Config{})
+	wantOutput(t, got, 34, 24, 145, 5, 4, 5, 29, 24, 116, 7,
+		0, 1, 0, 0, 1, 1, 0, 1, 0, 1)
+}
+
+func TestUnaryOps(t *testing.T) {
+	got := exec(t, `
+void main() {
+    int a;
+    a = 7;
+    print(-a);
+    print(!a);
+    print(!0);
+    print(-(-a));
+}`, compile.Options{}, kernel.Config{})
+	wantOutput(t, got, -7, 0, 1, 7)
+}
+
+func TestPointerToArrayElement(t *testing.T) {
+	got := exec(t, `
+int arr[4];
+int *p;
+void main() {
+    p = &arr[2];
+    *p = 9;
+    print(arr[2]);
+    print(*p + arr[2]);
+}`, compile.Options{Annotate: true}, kernel.Config{})
+	wantOutput(t, got, 9, 18)
+}
+
+func TestPointerToLocal(t *testing.T) {
+	got := exec(t, `
+int *p;
+void main() {
+    int x;
+    p = &x;
+    *p = 31;
+    print(x);
+}`, compile.Options{Annotate: true}, kernel.Config{})
+	wantOutput(t, got, 31)
+}
+
+func TestSixArgumentCall(t *testing.T) {
+	got := exec(t, `
+int f(int a, int b, int c, int d, int e, int g) {
+    return a + b * 10 + c * 100 + d * 1000 + e * 10000 + g * 100000;
+}
+void main() {
+    print(f(1, 2, 3, 4, 5, 6));
+}`, compile.Options{}, kernel.Config{})
+	wantOutput(t, got, 654321)
+}
+
+func TestReturnWithAnnotations(t *testing.T) {
+	// A return statement carrying end_atomic annotations must preserve the
+	// return value across the R0/R1-clobbering syscall.
+	got := exec(t, `
+int s;
+int get() {
+    s = 5;
+    return s + 37;
+}
+void main() {
+    print(get());
+}`, compile.Options{Annotate: true}, kernel.Config{Opt: kernel.OptBase})
+	wantOutput(t, got, 42)
+}
+
+func TestConditionWithAnnotations(t *testing.T) {
+	// if/while conditions carrying end_atomic annotations must preserve
+	// the condition register.
+	got := exec(t, `
+int s;
+void main() {
+    int n;
+    s = 3;
+    n = 0;
+    while (s > 0) {
+        s = s - 1;
+        n = n + 1;
+    }
+    if (s == 0) {
+        print(n);
+    } else {
+        print(0 - 1);
+    }
+}`, compile.Options{Annotate: true}, kernel.Config{Opt: kernel.OptBase})
+	wantOutput(t, got, 3)
+}
+
+func TestShadowLocalStore(t *testing.T) {
+	// A write-first AR on an LSV local triggers the shadow-store-to-local
+	// path under ShadowWrites.
+	got := exec(t, `
+int g;
+void main() {
+    int t;
+    t = g + 1;
+    print(t);
+    t = t + 1;
+    print(t);
+}`, compile.Options{Annotate: true, ShadowWrites: true},
+		kernel.Config{Opt: kernel.OptOptimized, ShadowDelta: compile.ShadowDelta})
+	wantOutput(t, got, 1, 2)
+}
+
+func TestVoidCallStatementAndNestedBuiltins(t *testing.T) {
+	got := exec(t, `
+int g;
+void bump(int by) {
+    g = g + by;
+}
+void main() {
+    bump(4);
+    bump(g);
+    sleep(10);
+    yield();
+    print(g + (nanos() & 0) + (rand() & 0));
+}`, compile.Options{Annotate: true}, kernel.Config{})
+	wantOutput(t, got, 8)
+}
+
+func TestElseIfChains(t *testing.T) {
+	got := exec(t, `
+void main() {
+    int x;
+    x = 2;
+    if (x == 0) {
+        print(100);
+    } else if (x == 1) {
+        print(200);
+    } else if (x == 2) {
+        print(300);
+    } else {
+        print(400);
+    }
+}`, compile.Options{}, kernel.Config{})
+	wantOutput(t, got, 300)
+}
+
+func TestGlobalPointerThroughFunctions(t *testing.T) {
+	got := exec(t, `
+int g = 5;
+int *acquire() {
+    return &g;
+}
+void bump(int *p) {
+    *p = *p + 1;
+}
+void main() {
+    int *q;
+    q = acquire();
+    bump(q);
+    bump(acquire());
+    print(g);
+}`, compile.Options{Annotate: true}, kernel.Config{Opt: kernel.OptBase})
+	wantOutput(t, got, 7)
+}
+
+func parse(src string) (*minic.Program, error) { return minic.Parse(src) }

@@ -1,0 +1,33 @@
+package compile
+
+// Memory layout of a compiled program. Addresses are 32-bit. The upper half
+// of memory mirrors the lower half as the shadow page shared between the
+// user-space Kivati library and the kernel (optimization 3, §3.4): the
+// compiler duplicates first-local-write stores to addr+ShadowDelta so the
+// kernel can undo remote writes without having trapped on the local write.
+const (
+	// GlobalsBase is where global variables are laid out.
+	GlobalsBase uint32 = 0x1000
+
+	// StackBase is the bottom of the first thread's stack region; thread t
+	// owns [StackBase + t*StackSize, StackBase + (t+1)*StackSize). Stacks
+	// grow downward from the top of their region.
+	StackBase uint32 = 0x40000
+
+	// StackSize is the per-thread stack region size.
+	StackSize uint32 = 0x10000
+
+	// MaxThreads bounds thread IDs so stacks fit below the shadow region.
+	MaxThreads = 48
+
+	// ShadowDelta is the offset of the shadow mirror.
+	ShadowDelta uint32 = 0x400000
+
+	// MemSize is the total memory size.
+	MemSize uint32 = 0x800000
+)
+
+// StackTop returns the initial stack pointer for thread tid.
+func StackTop(tid int) uint32 {
+	return StackBase + uint32(tid+1)*StackSize
+}

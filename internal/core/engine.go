@@ -1,0 +1,254 @@
+// Package core ties Kivati's pieces into the end-to-end pipeline the paper
+// describes: static annotation of a program's atomic regions, compilation to
+// the machine binary (with the pre-processing pass artifacts), and execution
+// under the kernel prevention engine with a chosen mode, optimization level
+// and whitelist. It also implements the whitelist training loop of §4.2.
+package core
+
+import (
+	"fmt"
+
+	"kivati/internal/annotate"
+	"kivati/internal/compile"
+	"kivati/internal/kernel"
+	"kivati/internal/minic"
+	"kivati/internal/trace"
+	"kivati/internal/vm"
+	"kivati/internal/whitelist"
+)
+
+// Program is a built (annotated) program, with compiled binaries cached per
+// code-generation variant.
+type Program struct {
+	Source    string
+	AST       *minic.Program
+	Annotated *annotate.Program
+
+	bins map[compile.Options]*compile.Binary
+}
+
+// Build parses, annotates and prepares a MiniC program using the paper
+// prototype's analysis.
+func Build(source string) (*Program, error) {
+	return BuildWithOptions(source, annotate.Options{})
+}
+
+// BuildWithOptions selects the annotator precision (the §3.5 points-to
+// extension when opts.Precise is set).
+func BuildWithOptions(source string, opts annotate.Options) (*Program, error) {
+	ast, err := minic.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	ap, err := annotate.AnnotateWithOptions(ast, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		Source:    source,
+		AST:       ast,
+		Annotated: ap,
+		bins:      map[compile.Options]*compile.Binary{},
+	}, nil
+}
+
+// Binary returns (compiling on first use) the binary for the given options.
+func (p *Program) Binary(opts compile.Options) (*compile.Binary, error) {
+	if b, ok := p.bins[opts]; ok {
+		return b, nil
+	}
+	b, err := compile.Compile(p.Annotated, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.bins[opts] = b
+	return b, nil
+}
+
+// SyncVarWhitelist returns the whitelist of ARs on synchronization variables
+// (optimization 4): ARs whose shared variable is passed to lock/unlock, plus
+// any extra names the caller identifies as flags.
+func (p *Program) SyncVarWhitelist(extraNames ...string) (*whitelist.Whitelist, error) {
+	bin, err := p.Binary(compile.Options{Annotate: true})
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]bool{}
+	for n := range bin.SyncVars {
+		names[n] = true
+	}
+	for _, n := range extraNames {
+		names[n] = true
+	}
+	wl := whitelist.New()
+	for _, ar := range p.Annotated.ARs {
+		if names[ar.Key.Name] {
+			wl.Add(ar.ID)
+		}
+	}
+	return wl, nil
+}
+
+// Start names a thread entry point and its argument.
+type Start struct {
+	Fn  string
+	Arg int64
+}
+
+// RunConfig configures one execution.
+type RunConfig struct {
+	Mode           kernel.Mode
+	Opt            kernel.OptLevel
+	Vanilla        bool // run the unannotated binary (baseline)
+	NumWatchpoints int
+	Cores          int
+	Seed           int64
+	MaxTicks       uint64
+	TimeoutTicks   uint64 // 0: default 10_000 (10 ms at 1 tick = 1 µs)
+	PauseTicks     uint64
+	PauseEvery     uint64
+	// TrapBefore simulates before-access watchpoint hardware (Table 1:
+	// SPARC-class), which needs no undo engine.
+	TrapBefore bool
+	Whitelist  *whitelist.Whitelist
+	// WhitelistReloadTicks re-reads the whitelist from its backing source
+	// every interval (§3.2: "the whitelist file is periodically checked
+	// and re-read for updates during execution so that a software
+	// developer can send patches to customers ... for long running
+	// processes"). 0 uses 1M ticks (~1 s) when the whitelist has a
+	// source; whitelists without a source are never reloaded.
+	WhitelistReloadTicks uint64
+	Requests             *vm.RequestConfig
+	Costs                vm.Costs
+	// OnViolation, if set, is invoked per violation; returning true stops
+	// the run (time-to-detection experiments).
+	OnViolation func(trace.Violation) bool
+	// Starts lists the initial threads; default is one thread in main().
+	Starts []Start
+}
+
+func (c *RunConfig) defaults() {
+	if c.NumWatchpoints == 0 {
+		c.NumWatchpoints = 4
+	}
+	if c.Cores == 0 {
+		c.Cores = 2
+	}
+	if c.TimeoutTicks == 0 {
+		c.TimeoutTicks = 10_000
+	}
+	if c.MaxTicks == 0 {
+		c.MaxTicks = 500_000_000
+	}
+	if len(c.Starts) == 0 {
+		c.Starts = []Start{{Fn: "main"}}
+	}
+}
+
+// compileOptions picks the code-generation variant for a run: vanilla, or
+// annotated with shadow writes when optimization 3 will be active.
+func (c *RunConfig) compileOptions() compile.Options {
+	if c.Vanilla {
+		return compile.Options{}
+	}
+	return compile.Options{Annotate: true, ShadowWrites: c.Opt.UseUserLib()}
+}
+
+// Run executes the program once under the given configuration.
+func Run(p *Program, cfg RunConfig) (*vm.Result, error) {
+	cfg.defaults()
+	bin, err := p.Binary(cfg.compileOptions())
+	if err != nil {
+		return nil, err
+	}
+	kcfg := kernel.Config{
+		Mode:           cfg.Mode,
+		Opt:            cfg.Opt,
+		NumWatchpoints: cfg.NumWatchpoints,
+		TimeoutTicks:   cfg.TimeoutTicks,
+		PauseTicks:     cfg.PauseTicks,
+		PauseEvery:     cfg.PauseEvery,
+		TrapBefore:     cfg.TrapBefore,
+	}
+	if bin.Opts.ShadowWrites && cfg.Opt.UseUserLib() {
+		kcfg.ShadowDelta = compile.ShadowDelta
+	}
+	log := &trace.Log{OnViolation: cfg.OnViolation}
+	k := kernel.New(kcfg, cfg.Whitelist, log, nil)
+	m, err := vm.New(bin, k, vm.Config{
+		Cores:    cfg.Cores,
+		Seed:     cfg.Seed,
+		MaxTicks: cfg.MaxTicks,
+		Costs:    cfg.Costs,
+		Requests: cfg.Requests,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range cfg.Starts {
+		if _, err := m.Start(s.Fn, s.Arg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Whitelist != nil && cfg.Whitelist.Source != nil {
+		interval := cfg.WhitelistReloadTicks
+		if interval == 0 {
+			interval = 1_000_000
+		}
+		var reload func()
+		reload = func() {
+			// A failed read keeps the current whitelist (§3.2's
+			// long-running-process patching must never regress).
+			_ = cfg.Whitelist.Reload()
+			m.After(interval, reload)
+		}
+		m.After(interval, reload)
+	}
+	res := m.Run()
+	if len(res.Faults) > 0 {
+		return res, fmt.Errorf("core: program faulted: %s", res.Faults[0])
+	}
+	return res, nil
+}
+
+// TrainResult reports one whitelist training campaign (§4.2, Figure 7).
+type TrainResult struct {
+	Whitelist *whitelist.Whitelist
+	// NewFPs[i] is the number of new false positives (violated ARs not
+	// yet whitelisted) observed in iteration i.
+	NewFPs []int
+}
+
+// Train runs the program repeatedly, adding every violated AR that is not a
+// known bug to the whitelist after each iteration — the paper's training
+// procedure for eliminating benign and required violations. bugVars names
+// shared variables whose violations are real bugs and must never be
+// whitelisted (empty for pure training workloads).
+func Train(p *Program, cfg RunConfig, iterations int, bugVars map[string]bool) (*TrainResult, error) {
+	wl := whitelist.New()
+	if cfg.Whitelist != nil {
+		wl.Merge(cfg.Whitelist)
+	}
+	out := &TrainResult{Whitelist: wl}
+	for i := 0; i < iterations; i++ {
+		iterCfg := cfg
+		iterCfg.Whitelist = wl
+		iterCfg.Seed = cfg.Seed + int64(i)*7919
+		res, err := Run(p, iterCfg)
+		if err != nil {
+			return nil, err
+		}
+		fresh := 0
+		for _, v := range res.Violations {
+			if bugVars[v.Var] {
+				continue
+			}
+			if !wl.Contains(v.ARID) {
+				wl.Add(v.ARID)
+				fresh++
+			}
+		}
+		out.NewFPs = append(out.NewFPs, fresh)
+	}
+	return out, nil
+}

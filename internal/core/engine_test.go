@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"kivati/internal/annotate"
+	"kivati/internal/compile"
+	"kivati/internal/kernel"
+)
+
+const src = `
+int s;
+int lk;
+int done;
+void worker(int n) {
+    int i;
+    i = 0;
+    while (i < 50) {
+        s = s + 1;
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(worker, 0);
+    worker(0);
+    while (done < 2) {
+        yield();
+    }
+    print(s);
+}
+`
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("not a program"); err == nil {
+		t.Error("want parse error")
+	}
+	if _, err := BuildWithOptions("void f() { undefined(); }", annotate.Options{Precise: true}); err == nil {
+		t.Error("want check error")
+	}
+}
+
+func TestBinaryCaching(t *testing.T) {
+	p, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := p.Binary(compile.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := p.Binary(compile.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("same options recompiled instead of cached")
+	}
+	v, err := p.Binary(compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == a1 {
+		t.Error("vanilla and annotated binaries must differ")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	p, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero config: prevention, base, 2 cores, 4 watchpoints, main().
+	res, err := Run(p, RunConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q", res.Reason)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("output %v", res.Output)
+	}
+	if res.Stats.Begins == 0 {
+		t.Error("annotations not executed under defaults")
+	}
+}
+
+func TestRunUnknownStart(t *testing.T) {
+	p, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, RunConfig{Starts: []Start{{Fn: "nope"}}}); err == nil {
+		t.Error("want error for unknown entry function")
+	}
+}
+
+func TestRunFaultReturnsError(t *testing.T) {
+	p, err := Build(`
+int z;
+void main() {
+    print(1 / z);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, RunConfig{}); err == nil {
+		t.Error("want error for faulting program")
+	}
+}
+
+func TestShadowDeltaOnlyWithOpt3(t *testing.T) {
+	p, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base config compiles without shadow writes.
+	cfg := RunConfig{Opt: kernel.OptBase}
+	if got := cfg.compileOptions(); got.ShadowWrites {
+		t.Error("base config requested shadow writes")
+	}
+	cfg = RunConfig{Opt: kernel.OptOptimized}
+	if got := cfg.compileOptions(); !got.ShadowWrites || !got.Annotate {
+		t.Errorf("optimized compile options = %+v", got)
+	}
+	cfg = RunConfig{Vanilla: true}
+	if got := cfg.compileOptions(); got.Annotate {
+		t.Error("vanilla config requested annotations")
+	}
+	_ = p
+}
+
+func TestTrainRespectsBugVars(t *testing.T) {
+	p, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Train(p, RunConfig{Seed: 3}, 2, map[string]bool{"s": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every violation in this program is on the bug variable: nothing may
+	// be whitelisted.
+	if tr.Whitelist.Len() != 0 {
+		t.Errorf("bug-variable ARs whitelisted: %v", tr.Whitelist.IDs())
+	}
+	tr2, err := Train(p, RunConfig{Seed: 3}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Whitelist.Len() == 0 {
+		t.Error("training without bug vars whitelisted nothing")
+	}
+}
+
+func TestSyncVarWhitelistExtraNames(t *testing.T) {
+	p, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.SyncVarWhitelist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDone, err := p.SyncVarWhitelist("done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDone.Len() <= base.Len() {
+		t.Errorf("extra flag name added nothing: %d vs %d", withDone.Len(), base.Len())
+	}
+}

@@ -1,0 +1,84 @@
+// Package dataflow provides a small forward data-flow analysis framework
+// over control-flow graphs: a worklist fixpoint solver parameterized by a
+// join-semilattice of facts. Both of the annotator's analyses — the list of
+// shared variables and the reaching-access pairing — are instances.
+package dataflow
+
+import "kivati/internal/cfg"
+
+// Facts is the lattice element attached to each program point. Implementations
+// must be pure: Join and TransferOut return new values (or unchanged
+// receivers) and never mutate their arguments.
+type Facts interface {
+	// Equal reports whether two fact sets are equal (fixpoint test).
+	Equal(other Facts) bool
+}
+
+// Analysis defines one forward data-flow problem.
+type Analysis interface {
+	// Bottom returns the initial fact set for every node.
+	Bottom() Facts
+	// Entry returns the fact set entering the CFG entry node.
+	Entry() Facts
+	// Join merges fact sets arriving over multiple predecessors.
+	Join(a, b Facts) Facts
+	// Transfer computes the node's output facts from its input facts.
+	Transfer(n *cfg.Node, in Facts) Facts
+}
+
+// Result holds the fixpoint solution: facts on entry to and exit from each
+// node, indexed by node ID.
+type Result struct {
+	In  []Facts
+	Out []Facts
+}
+
+// Solve runs the worklist algorithm to fixpoint. The solution is maximal for
+// monotone transfer functions over finite lattices, which both annotator
+// analyses satisfy (set union, gen-only transfer).
+func Solve(g *cfg.Graph, a Analysis) *Result {
+	res := &Result{
+		In:  make([]Facts, len(g.Nodes)),
+		Out: make([]Facts, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		res.In[n.ID] = a.Bottom()
+		res.Out[n.ID] = a.Bottom()
+	}
+	res.In[g.Entry.ID] = a.Entry()
+	res.Out[g.Entry.ID] = a.Transfer(g.Entry, res.In[g.Entry.ID])
+
+	work := make([]*cfg.Node, 0, len(g.Nodes))
+	inWork := make([]bool, len(g.Nodes))
+	push := func(n *cfg.Node) {
+		if !inWork[n.ID] {
+			inWork[n.ID] = true
+			work = append(work, n)
+		}
+	}
+	for _, n := range g.Nodes {
+		push(n)
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		inWork[n.ID] = false
+
+		in := res.In[n.ID]
+		if n == g.Entry {
+			in = a.Entry()
+		}
+		for _, p := range n.Preds {
+			in = a.Join(in, res.Out[p.ID])
+		}
+		out := a.Transfer(n, in)
+		res.In[n.ID] = in
+		if !out.Equal(res.Out[n.ID]) {
+			res.Out[n.ID] = out
+			for _, s := range n.Succs {
+				push(s)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"kivati/internal/bugs"
+	"kivati/internal/core"
+	"kivati/internal/kernel"
+	"kivati/internal/stats"
+	"kivati/internal/trace"
+)
+
+// Table6Row is one bug's time-to-detection under the three configurations.
+// Times are in ticks; Detected* report whether the bug manifested within the
+// cap (the paper's "-" rows).
+type Table6Row struct {
+	App, ID      string
+	PrevTicks    uint64
+	PrevDetected bool
+	Bug20Ticks   uint64
+	Bug20Found   bool
+	Bug50Ticks   uint64
+	Bug50Found   bool
+
+	PaperPrev, Paper20, Paper50 string
+}
+
+// RunTable6 measures how long Kivati takes to detect (and prevent) each of
+// the 11 corpus bugs, in prevention mode and bug-finding mode with 20 ms and
+// 50 ms pauses. Each run stops at the first violation on a bug variable or
+// at the 90-scaled-minute cap.
+func RunTable6(o Options) ([]Table6Row, error) {
+	o = o.defaults()
+	var out []Table6Row
+	for bi, b := range bugs.Corpus() {
+		p, err := core.Build(b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bug %s %s: %w", b.App, b.ID, err)
+		}
+		bugVars := map[string]bool{}
+		for _, v := range b.BugVars {
+			bugVars[v] = true
+		}
+		detect := func(mode kernel.Mode, pause uint64) (uint64, bool, error) {
+			var when uint64
+			found := false
+			cfg := core.RunConfig{
+				Mode:           mode,
+				Opt:            kernel.OptBase,
+				NumWatchpoints: o.Watchpoints,
+				Cores:          o.Cores,
+				Seed:           o.Seed + int64(bi)*13,
+				MaxTicks:       DetectionCapTicks,
+				TimeoutTicks:   TimeoutTicks,
+				PauseTicks:     pause,
+				PauseEvery:     BugPauseEvery,
+				Starts:         b.Starts(),
+				OnViolation: func(v trace.Violation) bool {
+					if bugVars[v.Var] {
+						when = v.Tick
+						found = true
+						return true
+					}
+					return false
+				},
+			}
+			res, err := core.Run(p, cfg)
+			if err != nil {
+				return 0, false, fmt.Errorf("harness: bug %s %s: %w", b.App, b.ID, err)
+			}
+			_ = res
+			return when, found, nil
+		}
+		row := Table6Row{App: b.App, ID: b.ID,
+			PaperPrev: b.PaperPrev, Paper20: b.Paper20, Paper50: b.Paper50}
+		if row.PrevTicks, row.PrevDetected, err = detect(kernel.Prevention, 0); err != nil {
+			return nil, err
+		}
+		if row.Bug20Ticks, row.Bug20Found, err = detect(kernel.BugFinding, Pause20); err != nil {
+			return nil, err
+		}
+		if row.Bug50Ticks, row.Bug50Found, err = detect(kernel.BugFinding, Pause50); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// scaledMMSS renders a tick count as scaled minutes:seconds (Table 6 units).
+func scaledMMSS(ticks uint64, found bool) string {
+	if !found {
+		return "-"
+	}
+	return stats.FormatMMSS(float64(ticks) / PaperSecondTicks)
+}
+
+// FormatTable6 renders the detection-time rows next to the paper's values.
+func FormatTable6(rows []Table6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6. Time to detect+prevent each bug (scaled m:ss; '-' = no manifestation)\n")
+	fmt.Fprintf(&b, "%-8s %-8s | %9s %9s %9s | paper: %7s %7s %7s\n",
+		"App", "Bug ID", "Prev", "Bug(20ms)", "Bug(50ms)", "Prev", "20ms", "50ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8s | %9s %9s %9s | %14s %7s %7s\n",
+			r.App, r.ID,
+			scaledMMSS(r.PrevTicks, r.PrevDetected),
+			scaledMMSS(r.Bug20Ticks, r.Bug20Found),
+			scaledMMSS(r.Bug50Ticks, r.Bug50Found),
+			r.PaperPrev, r.Paper20, r.Paper50)
+	}
+	return b.String()
+}

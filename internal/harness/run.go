@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+
+	"kivati/internal/core"
+	"kivati/internal/kernel"
+	"kivati/internal/vm"
+	"kivati/internal/whitelist"
+	"kivati/internal/workloads"
+)
+
+// appRun executes one workload under one configuration.
+type appRun struct {
+	spec *workloads.Spec
+	prog *core.Program
+	wl   *whitelist.Whitelist // sync-var whitelist for this program
+}
+
+// prepare builds a workload's program and its sync-var whitelist once.
+func prepare(spec *workloads.Spec) (*appRun, error) {
+	p, err := core.Build(spec.Source)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", spec.Name, err)
+	}
+	wl, err := p.SyncVarWhitelist(spec.FlagVars...)
+	if err != nil {
+		return nil, err
+	}
+	return &appRun{spec: spec, prog: p, wl: wl}, nil
+}
+
+// config materializes a RunConfig for the given mode and optimization level.
+// Whitelist-bearing levels (SyncVars, Optimized) get the sync-var whitelist.
+func (a *appRun) config(o Options, mode kernel.Mode, opt kernel.OptLevel, vanilla bool) core.RunConfig {
+	cfg := core.RunConfig{
+		Mode:           mode,
+		Opt:            opt,
+		Vanilla:        vanilla,
+		NumWatchpoints: o.Watchpoints,
+		Cores:          o.Cores,
+		Seed:           o.Seed,
+		MaxTicks:       o.MaxTicks,
+		TimeoutTicks:   TimeoutTicks,
+		Starts:         a.spec.Starts,
+	}
+	if a.spec.Requests != nil {
+		r := *a.spec.Requests
+		cfg.Requests = &r
+	}
+	if mode == kernel.BugFinding {
+		cfg.PauseTicks = Pause20
+		cfg.PauseEvery = PauseEvery
+	}
+	if opt.UseWhitelist() {
+		cfg.Whitelist = a.wl
+	}
+	return cfg
+}
+
+// run executes and returns the result, turning faults into errors.
+func (a *appRun) run(cfg core.RunConfig) (*vm.Result, error) {
+	res, err := core.Run(a.prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", a.spec.Name, err)
+	}
+	if res.Reason != "completed" {
+		return nil, fmt.Errorf("harness: %s: run did not complete: %s (ticks=%d)",
+			a.spec.Name, res.Reason, res.Ticks)
+	}
+	return res, nil
+}

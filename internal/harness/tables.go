@@ -1,0 +1,284 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"kivati/internal/hw"
+	"kivati/internal/kernel"
+	"kivati/internal/stats"
+	"kivati/internal/workloads"
+)
+
+// Table1 reproduces the hardware watchpoint survey.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. Hardware watchpoint support survey\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-7s %s\n", "Arch", "Support", "Number", "Type")
+	for _, a := range hw.Survey {
+		sup := "No"
+		if a.Support {
+			sup = "Yes"
+		}
+		fmt.Fprintf(&b, "%-8s %-8s %-7d %s\n", a.Arch, sup, a.Num, a.Timing)
+	}
+	return b.String()
+}
+
+// Table2 lists the applications and workloads.
+func Table2(o Options) string {
+	o = o.defaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2. Applications and workloads\n")
+	fmt.Fprintf(&b, "%-10s %s\n", "App", "Workload")
+	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
+		fmt.Fprintf(&b, "%-10s %s\n", spec.Name, spec.Description)
+	}
+	return b.String()
+}
+
+// Table3Cell is one overhead measurement: prevention / bug-finding.
+type Table3Cell struct {
+	PrevPct float64
+	BugPct  float64
+}
+
+// Table3Row is one application's Table 3 row.
+type Table3Row struct {
+	App          string
+	VanillaTicks uint64
+	Base         Table3Cell
+	NullSyscall  Table3Cell
+	SyncVars     Table3Cell
+	Optimized    Table3Cell
+}
+
+// Table3Result holds all rows plus the geometric-mean summary.
+type Table3Result struct {
+	Rows    []Table3Row
+	GeoMean Table3Row // App = "geo. mean"; VanillaTicks unused
+}
+
+// RunTable3 measures runtime overhead for every application under the four
+// optimization levels, in prevention and bug-finding mode, against the
+// vanilla binary.
+func RunTable3(o Options) (*Table3Result, error) {
+	o = o.defaults()
+	out := &Table3Result{}
+	levels := []kernel.OptLevel{kernel.OptBase, kernel.OptNullSyscall, kernel.OptSyncVars, kernel.OptOptimized}
+	sums := map[kernel.OptLevel][2][]float64{}
+	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
+		a, err := prepare(spec)
+		if err != nil {
+			return nil, err
+		}
+		van, err := a.run(a.config(o, kernel.Prevention, kernel.OptBase, true))
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{App: spec.Name, VanillaTicks: van.Ticks}
+		for _, opt := range levels {
+			var cell Table3Cell
+			for mi, mode := range []kernel.Mode{kernel.Prevention, kernel.BugFinding} {
+				res, err := a.run(a.config(o, mode, opt, false))
+				if err != nil {
+					return nil, err
+				}
+				pct := stats.OverheadPct(van.Ticks, res.Ticks)
+				if mi == 0 {
+					cell.PrevPct = pct
+				} else {
+					cell.BugPct = pct
+				}
+				s := sums[opt]
+				// Geometric means need positive ratios; store the
+				// runtime ratio, convert back when summarizing.
+				s[mi] = append(s[mi], float64(res.Ticks)/float64(van.Ticks))
+				sums[opt] = s
+			}
+			switch opt {
+			case kernel.OptBase:
+				row.Base = cell
+			case kernel.OptNullSyscall:
+				row.NullSyscall = cell
+			case kernel.OptSyncVars:
+				row.SyncVars = cell
+			case kernel.OptOptimized:
+				row.Optimized = cell
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	gm := Table3Row{App: "geo. mean"}
+	cell := func(opt kernel.OptLevel) Table3Cell {
+		s := sums[opt]
+		return Table3Cell{
+			PrevPct: (stats.GeoMean(s[0]) - 1) * 100,
+			BugPct:  (stats.GeoMean(s[1]) - 1) * 100,
+		}
+	}
+	gm.Base = cell(kernel.OptBase)
+	gm.NullSyscall = cell(kernel.OptNullSyscall)
+	gm.SyncVars = cell(kernel.OptSyncVars)
+	gm.Optimized = cell(kernel.OptOptimized)
+	out.GeoMean = gm
+	return out, nil
+}
+
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. Runtime overhead (%%, prevention / bug-finding) vs vanilla\n")
+	fmt.Fprintf(&b, "%-10s %12s %15s %15s %15s %15s\n",
+		"App", "Runtime(Mt)", "Base", "Null syscall", "SyncVars", "Optimized")
+	cell := func(c Table3Cell) string {
+		return fmt.Sprintf("%5.1f /%5.1f", c.PrevPct, c.BugPct)
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %12.2f %15s %15s %15s %15s\n",
+			row.App, float64(row.VanillaTicks)/1e6,
+			cell(row.Base), cell(row.NullSyscall), cell(row.SyncVars), cell(row.Optimized))
+	}
+	fmt.Fprintf(&b, "%-10s %12s %15s %15s %15s %15s\n",
+		r.GeoMean.App, "",
+		cell(r.GeoMean.Base), cell(r.GeoMean.NullSyscall), cell(r.GeoMean.SyncVars), cell(r.GeoMean.Optimized))
+	return b.String()
+}
+
+// Table4Row is one application's kernel-crossing rates in thousands per
+// (virtual) second under three optimization levels.
+type Table4Row struct {
+	App               string
+	BaseKps           float64
+	SyncVarsKps       float64
+	SyncVarsReduction float64 // % vs base
+	OptKps            float64
+	OptReduction      float64
+}
+
+// Table4Result holds the rows and the average reduction.
+type Table4Result struct {
+	Rows         []Table4Row
+	AvgReduction float64 // optimized vs base, mean across apps
+}
+
+// RunTable4 counts kernel domain crossings (begin/end/clear syscalls plus
+// remote traps) per virtual second in prevention mode.
+func RunTable4(o Options) (*Table4Result, error) {
+	o = o.defaults()
+	out := &Table4Result{}
+	var reductions []float64
+	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
+		a, err := prepare(spec)
+		if err != nil {
+			return nil, err
+		}
+		kps := func(opt kernel.OptLevel) (float64, error) {
+			res, err := a.run(a.config(o, kernel.Prevention, opt, false))
+			if err != nil {
+				return 0, err
+			}
+			secs := float64(res.Ticks) / 1e6 // 1 tick = 1 µs
+			return float64(res.Stats.KernelEntries()) / secs / 1e3, nil
+		}
+		base, err := kps(kernel.OptBase)
+		if err != nil {
+			return nil, err
+		}
+		sync, err := kps(kernel.OptSyncVars)
+		if err != nil {
+			return nil, err
+		}
+		optz, err := kps(kernel.OptOptimized)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{
+			App: spec.Name, BaseKps: base,
+			SyncVarsKps: sync, SyncVarsReduction: (base - sync) / base * 100,
+			OptKps: optz, OptReduction: (base - optz) / base * 100,
+		}
+		reductions = append(reductions, row.OptReduction)
+		out.Rows = append(out.Rows, row)
+	}
+	out.AvgReduction = stats.Mean(reductions)
+	return out, nil
+}
+
+func (r *Table4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4. Kernel crossings (K/s): base, +syncvars, +all optimizations\n")
+	fmt.Fprintf(&b, "%-10s %10s %18s %18s\n", "App", "Base", "SyncVars", "Optimized")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %10.0f %10.0f (%3.0f%%) %10.0f (%3.0f%%)\n",
+			row.App, row.BaseKps, row.SyncVarsKps, row.SyncVarsReduction,
+			row.OptKps, row.OptReduction)
+	}
+	fmt.Fprintf(&b, "average reduction (optimized vs base): %.0f%%\n", r.AvgReduction)
+	return b.String()
+}
+
+// Table5Row is one server application's request latency (mean, in ticks =
+// µs) under vanilla, prevention and bug-finding.
+type Table5Row struct {
+	App         string
+	Vanilla     float64
+	Prevention  float64
+	PrevPct     float64
+	BugFinding  float64
+	BugPct      float64
+	NumRequests int
+}
+
+// RunTable5 measures request latency for the two server workloads under the
+// fully optimized configuration.
+func RunTable5(o Options) ([]Table5Row, error) {
+	o = o.defaults()
+	var out []Table5Row
+	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
+		if !spec.Server {
+			continue
+		}
+		a, err := prepare(spec)
+		if err != nil {
+			return nil, err
+		}
+		mean := func(mode kernel.Mode, vanilla bool) (float64, int, error) {
+			res, err := a.run(a.config(o, mode, kernel.OptOptimized, vanilla))
+			if err != nil {
+				return 0, 0, err
+			}
+			return stats.MeanU64(res.Latencies), len(res.Latencies), nil
+		}
+		van, n, err := mean(kernel.Prevention, true)
+		if err != nil {
+			return nil, err
+		}
+		prev, _, err := mean(kernel.Prevention, false)
+		if err != nil {
+			return nil, err
+		}
+		bug, _, err := mean(kernel.BugFinding, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table5Row{
+			App: spec.Name, Vanilla: van,
+			Prevention: prev, PrevPct: (prev - van) / van * 100,
+			BugFinding: bug, BugPct: (bug - van) / van * 100,
+			NumRequests: n,
+		})
+	}
+	return out, nil
+}
+
+// FormatTable5 renders the latency rows.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5. Request latency (ticks), vanilla vs prevention vs bug-finding\n")
+	fmt.Fprintf(&b, "%-10s %10s %18s %18s %6s\n", "App", "Vanilla", "Prevention", "Bug", "reqs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10.0f %10.0f (%4.1f%%) %10.0f (%4.1f%%) %6d\n",
+			r.App, r.Vanilla, r.Prevention, r.PrevPct, r.BugFinding, r.BugPct, r.NumRequests)
+	}
+	return b.String()
+}

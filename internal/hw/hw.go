@@ -1,0 +1,144 @@
+// Package hw simulates the hardware watchpoint (debug register) facility
+// Kivati builds on. It mirrors the x86 model the paper targets: each core
+// has four watchpoint registers (DR0–DR3 equivalents), each configured with
+// an address, an access width of 1, 2, 4 or 8 bytes, and the access types to
+// trap on; the trap is delivered *after* the triggering instruction has
+// committed its effects, which is what forces the kernel's undo machinery.
+//
+// The register count is configurable so the Table 9 watchpoint-sweep
+// experiment (2–12 registers) can run on the same code path.
+package hw
+
+import "fmt"
+
+// AccessType is a bitmask of memory access kinds.
+type AccessType uint8
+
+const (
+	Read  AccessType = 1 << iota // load from memory
+	Write                        // store to memory
+
+	ReadWrite = Read | Write
+)
+
+func (t AccessType) String() string {
+	switch t {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case ReadWrite:
+		return "RW"
+	case 0:
+		return "-"
+	}
+	return fmt.Sprintf("AccessType(%d)", uint8(t))
+}
+
+// DefaultNumWatchpoints is the number of debug registers on x86 (DR0–DR3).
+const DefaultNumWatchpoints = 4
+
+// Watchpoint is one debug register's configuration.
+type Watchpoint struct {
+	Addr    uint32     // watched address
+	Size    uint8      // watched width: 1, 2, 4 or 8 bytes
+	Types   AccessType // access kinds that trap
+	Armed   bool       // register is in use
+	Owner   int        // thread ID whose ARs own this register (-1 if none)
+	LocalOf int        // thread whose accesses are exempt (-1 = none; optimization 3)
+}
+
+// ValidSize reports whether sz is a width the hardware can watch.
+func ValidSize(sz uint8) bool {
+	return sz == 1 || sz == 2 || sz == 4 || sz == 8
+}
+
+// overlaps reports whether [a, a+an) intersects [b, b+bn).
+func overlaps(a uint32, an uint8, b uint32, bn uint8) bool {
+	return a < b+uint32(bn) && b < a+uint32(an)
+}
+
+// RegisterFile is the set of watchpoint registers on one core.
+type RegisterFile struct {
+	WPs   []Watchpoint
+	Epoch uint64 // version of the canonical register state this core has adopted
+}
+
+// NewRegisterFile returns a register file with n watchpoints.
+func NewRegisterFile(n int) *RegisterFile {
+	return &RegisterFile{WPs: make([]Watchpoint, n)}
+}
+
+// Set programs register i. It panics on an invalid register index or size;
+// programming the debug registers is a privileged, kernel-only operation and
+// a bad argument is a kernel bug, not a recoverable condition.
+func (rf *RegisterFile) Set(i int, wp Watchpoint) {
+	if i < 0 || i >= len(rf.WPs) {
+		panic(fmt.Sprintf("hw: watchpoint index %d out of range [0,%d)", i, len(rf.WPs)))
+	}
+	if wp.Armed && !ValidSize(wp.Size) {
+		panic(fmt.Sprintf("hw: invalid watchpoint size %d", wp.Size))
+	}
+	rf.WPs[i] = wp
+}
+
+// Clear disarms register i.
+func (rf *RegisterFile) Clear(i int) {
+	rf.Set(i, Watchpoint{Owner: -1, LocalOf: -1})
+}
+
+// CopyFrom adopts the canonical register state (cross-core propagation; the
+// paper's opportunistic update on kernel entry).
+func (rf *RegisterFile) CopyFrom(src *RegisterFile) {
+	copy(rf.WPs, src.WPs)
+	rf.Epoch = src.Epoch
+}
+
+// Match checks an access (addr, size sz, type t) performed by thread tid
+// against the armed registers and returns the index of the first register
+// that traps, or -1. A register whose LocalOf equals tid does not trap
+// (optimization 3: watchpoints are disabled during execution of the local
+// thread that owns the AR).
+func (rf *RegisterFile) Match(tid int, addr uint32, sz uint8, t AccessType) int {
+	for i := range rf.WPs {
+		wp := &rf.WPs[i]
+		if !wp.Armed || wp.Types&t == 0 {
+			continue
+		}
+		if wp.LocalOf == tid {
+			continue
+		}
+		if overlaps(addr, sz, wp.Addr, wp.Size) {
+			return i
+		}
+	}
+	return -1
+}
+
+// FreeIndex returns the index of a disarmed register, or -1 if all are in
+// use — the condition under which Kivati logs a missed AR.
+func (rf *RegisterFile) FreeIndex() int {
+	for i := range rf.WPs {
+		if !rf.WPs[i].Armed {
+			return i
+		}
+	}
+	return -1
+}
+
+// ArchInfo is one row of the paper's Table 1 hardware watchpoint survey.
+type ArchInfo struct {
+	Arch    string
+	Support bool
+	Num     int
+	Timing  string // whether the trap is delivered before or after the access
+}
+
+// Survey reproduces Table 1 of the paper.
+var Survey = []ArchInfo{
+	{Arch: "x86", Support: true, Num: 4, Timing: "After"},
+	{Arch: "SPARC", Support: true, Num: 2, Timing: "Before"},
+	{Arch: "MIPS", Support: true, Num: 1, Timing: "Depends on inst."},
+	{Arch: "ARM", Support: true, Num: 2, Timing: "After"},
+	{Arch: "PowerPC", Support: true, Num: 1, Timing: ""},
+}

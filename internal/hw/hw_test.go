@@ -1,0 +1,180 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessTypeString(t *testing.T) {
+	cases := map[AccessType]string{Read: "R", Write: "W", ReadWrite: "RW", 0: "-"}
+	for at, want := range cases {
+		if got := at.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", at, got, want)
+		}
+	}
+}
+
+func TestValidSize(t *testing.T) {
+	for _, sz := range []uint8{1, 2, 4, 8} {
+		if !ValidSize(sz) {
+			t.Errorf("ValidSize(%d) = false", sz)
+		}
+	}
+	for _, sz := range []uint8{0, 3, 5, 6, 7, 9, 16} {
+		if ValidSize(sz) {
+			t.Errorf("ValidSize(%d) = true", sz)
+		}
+	}
+}
+
+func TestMatchBasic(t *testing.T) {
+	rf := NewRegisterFile(4)
+	rf.Set(0, Watchpoint{Addr: 0x1000, Size: 8, Types: Write, Armed: true, Owner: 1, LocalOf: -1})
+
+	if got := rf.Match(2, 0x1000, 8, Write); got != 0 {
+		t.Errorf("exact write match = %d, want 0", got)
+	}
+	if got := rf.Match(2, 0x1000, 8, Read); got != -1 {
+		t.Errorf("read against write-only watchpoint = %d, want -1", got)
+	}
+	if got := rf.Match(2, 0x0ff8, 8, Write); got != -1 {
+		t.Errorf("adjacent-below access = %d, want -1", got)
+	}
+	if got := rf.Match(2, 0x1008, 8, Write); got != -1 {
+		t.Errorf("adjacent-above access = %d, want -1", got)
+	}
+	if got := rf.Match(2, 0x1004, 4, Write); got != 0 {
+		t.Errorf("partial overlap = %d, want 0", got)
+	}
+	if got := rf.Match(2, 0x0ffc, 8, Write); got != 0 {
+		t.Errorf("straddling overlap = %d, want 0", got)
+	}
+}
+
+func TestMatchLocalExemption(t *testing.T) {
+	// Optimization 3: the local thread that owns the AR does not trap.
+	rf := NewRegisterFile(4)
+	rf.Set(0, Watchpoint{Addr: 0x2000, Size: 4, Types: ReadWrite, Armed: true, Owner: 7, LocalOf: 7})
+	if got := rf.Match(7, 0x2000, 4, Write); got != -1 {
+		t.Errorf("local thread trapped: %d, want -1", got)
+	}
+	if got := rf.Match(8, 0x2000, 4, Write); got != 0 {
+		t.Errorf("remote thread did not trap: %d, want 0", got)
+	}
+}
+
+func TestMatchDisarmed(t *testing.T) {
+	rf := NewRegisterFile(4)
+	rf.Set(1, Watchpoint{Addr: 0x3000, Size: 8, Types: ReadWrite, Armed: false})
+	if got := rf.Match(1, 0x3000, 8, Read); got != -1 {
+		t.Errorf("disarmed watchpoint matched: %d", got)
+	}
+}
+
+func TestMatchFirstOfSeveral(t *testing.T) {
+	rf := NewRegisterFile(4)
+	rf.Set(2, Watchpoint{Addr: 0x4000, Size: 8, Types: ReadWrite, Armed: true, Owner: 1, LocalOf: -1})
+	rf.Set(3, Watchpoint{Addr: 0x4000, Size: 8, Types: ReadWrite, Armed: true, Owner: 2, LocalOf: -1})
+	if got := rf.Match(9, 0x4000, 8, Read); got != 2 {
+		t.Errorf("Match = %d, want first matching index 2", got)
+	}
+}
+
+func TestFreeIndex(t *testing.T) {
+	rf := NewRegisterFile(2)
+	if got := rf.FreeIndex(); got != 0 {
+		t.Errorf("FreeIndex on empty file = %d, want 0", got)
+	}
+	rf.Set(0, Watchpoint{Addr: 1, Size: 1, Types: Read, Armed: true})
+	if got := rf.FreeIndex(); got != 1 {
+		t.Errorf("FreeIndex = %d, want 1", got)
+	}
+	rf.Set(1, Watchpoint{Addr: 2, Size: 1, Types: Read, Armed: true})
+	if got := rf.FreeIndex(); got != -1 {
+		t.Errorf("FreeIndex on full file = %d, want -1 (missed AR condition)", got)
+	}
+	rf.Clear(0)
+	if got := rf.FreeIndex(); got != 0 {
+		t.Errorf("FreeIndex after Clear = %d, want 0", got)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := NewRegisterFile(4)
+	src.Set(0, Watchpoint{Addr: 0x10, Size: 4, Types: Write, Armed: true, Owner: 3, LocalOf: 3})
+	src.Epoch = 9
+	dst := NewRegisterFile(4)
+	dst.CopyFrom(src)
+	if dst.Epoch != 9 {
+		t.Errorf("Epoch = %d, want 9", dst.Epoch)
+	}
+	if dst.WPs[0] != src.WPs[0] {
+		t.Errorf("WPs[0] = %+v, want %+v", dst.WPs[0], src.WPs[0])
+	}
+	// Mutating dst must not affect src (independent register files).
+	dst.Clear(0)
+	if !src.WPs[0].Armed {
+		t.Error("Clear on copy disarmed the source register file")
+	}
+}
+
+func TestSetPanics(t *testing.T) {
+	rf := NewRegisterFile(2)
+	assertPanics(t, "index out of range", func() { rf.Set(5, Watchpoint{}) })
+	assertPanics(t, "invalid size", func() {
+		rf.Set(0, Watchpoint{Addr: 1, Size: 3, Types: Read, Armed: true})
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// Property: Match respects the overlap definition exactly — it returns a hit
+// iff the byte ranges intersect, the types intersect, and the thread is not
+// the exempted local.
+func TestMatchProperty(t *testing.T) {
+	f := func(wpAddr uint16, wpSzSel, accSzSel uint8, accAddr uint16, wpT, accT uint8, tid, local int8) bool {
+		sizes := []uint8{1, 2, 4, 8}
+		wp := Watchpoint{
+			Addr:    uint32(wpAddr),
+			Size:    sizes[wpSzSel%4],
+			Types:   AccessType(wpT%3 + 1),
+			Armed:   true,
+			Owner:   0,
+			LocalOf: int(local),
+		}
+		rf := NewRegisterFile(1)
+		rf.Set(0, wp)
+		at := AccessType(1 << (accT % 2)) // Read or Write
+		asz := sizes[accSzSel%4]
+		got := rf.Match(int(tid), uint32(accAddr), asz, at) == 0
+		want := wp.Types&at != 0 &&
+			int(tid) != wp.LocalOf &&
+			uint32(accAddr) < wp.Addr+uint32(wp.Size) &&
+			wp.Addr < uint32(accAddr)+uint32(asz)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurveyMatchesPaperTable1(t *testing.T) {
+	if len(Survey) != 5 {
+		t.Fatalf("Survey has %d rows, want 5", len(Survey))
+	}
+	x86 := Survey[0]
+	if x86.Arch != "x86" || x86.Num != 4 || x86.Timing != "After" || !x86.Support {
+		t.Errorf("x86 row = %+v", x86)
+	}
+	if DefaultNumWatchpoints != x86.Num {
+		t.Errorf("DefaultNumWatchpoints = %d, want %d", DefaultNumWatchpoints, x86.Num)
+	}
+}

@@ -1,0 +1,79 @@
+// Package interleave contains the pure serializability logic at the heart of
+// Kivati: the classification of three-access interleavings (first local
+// access, one remote access, second local access) into serializable and
+// non-serializable cases (paper Figure 2), and the derivation of which
+// remote access types a watchpoint must monitor for a given local access
+// pair (paper Figure 6).
+package interleave
+
+import "kivati/internal/hw"
+
+// NonSerializable reports whether the interleaving
+//
+//	local(first) ... remote ... local(second)
+//
+// on the same shared variable has no equivalent serial execution. Exactly
+// four of the eight combinations are non-serializable (Figure 2):
+//
+//	R-W-R: the two local reads observe different values; serially they
+//	       would observe the same value.
+//	W-W-R: the local read observes the remote write instead of the local
+//	       thread's own preceding write.
+//	W-R-W: the remote read observes an intermediate (dirty) value that no
+//	       serial execution exposes.
+//	R-W-W: the remote write is lost — the local second write overwrites it,
+//	       yet the local read saw the pre-remote value.
+func NonSerializable(first, remote, second hw.AccessType) bool {
+	switch {
+	case first == hw.Read && remote == hw.Write && second == hw.Read:
+		return true
+	case first == hw.Write && remote == hw.Write && second == hw.Read:
+		return true
+	case first == hw.Write && remote == hw.Read && second == hw.Write:
+		return true
+	case first == hw.Read && remote == hw.Write && second == hw.Write:
+		return true
+	}
+	return false
+}
+
+// WatchType returns the remote access types a watchpoint must monitor for an
+// atomic region whose local accesses are (first, second), per Figure 6:
+//
+//	(R, R) -> remote writes
+//	(R, W) -> remote writes
+//	(W, R) -> remote writes
+//	(W, W) -> remote reads
+//
+// When the second access type is unknown because different control-flow
+// paths end the AR with different access types (Figure 6 bottom-right), pass
+// second == ReadWrite and both remote reads and writes are watched; the
+// recorded first access type then disambiguates at end_atomic time, when the
+// actual second access type is known.
+func WatchType(first, second hw.AccessType) hw.AccessType {
+	if second == hw.ReadWrite {
+		return WatchType(first, hw.Read) | WatchType(first, hw.Write)
+	}
+	var w hw.AccessType
+	for _, remote := range []hw.AccessType{hw.Read, hw.Write} {
+		if NonSerializable(first, remote, second) {
+			w |= remote
+		}
+	}
+	return w
+}
+
+// Violation decides, given the recorded remote access types seen during an
+// AR and the actual (first, second) local access types, whether a
+// non-serializable interleaving occurred. This is the check the kernel runs
+// when an end_atomic arrives (§3.2).
+func Violation(first, second hw.AccessType, remotes []hw.AccessType) bool {
+	for _, r := range remotes {
+		for _, one := range []hw.AccessType{hw.Read, hw.Write} {
+			if r&one != 0 && NonSerializable(first, one, second) {
+				return true
+			}
+		}
+	}
+	return false
+}

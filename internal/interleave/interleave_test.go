@@ -1,0 +1,179 @@
+package interleave
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kivati/internal/hw"
+)
+
+const (
+	R = hw.Read
+	W = hw.Write
+)
+
+// TestFigure2 checks all eight three-access interleavings against the
+// paper's Figure 2 taxonomy.
+func TestFigure2(t *testing.T) {
+	cases := []struct {
+		first, remote, second hw.AccessType
+		unserializable        bool
+	}{
+		{R, R, R, false},
+		{R, R, W, false},
+		{R, W, R, true},  // reads observe different values
+		{R, W, W, true},  // remote write lost
+		{W, R, R, false}, // remote reads the committed local write
+		{W, R, W, true},  // remote observes dirty intermediate value
+		{W, W, R, true},  // local read sees remote's write, not its own
+		{W, W, W, false},
+	}
+	for _, c := range cases {
+		if got := NonSerializable(c.first, c.remote, c.second); got != c.unserializable {
+			t.Errorf("NonSerializable(%v,%v,%v) = %v, want %v",
+				c.first, c.remote, c.second, got, c.unserializable)
+		}
+	}
+	// Exactly four interleavings are non-serializable.
+	n := 0
+	for _, f := range []hw.AccessType{R, W} {
+		for _, r := range []hw.AccessType{R, W} {
+			for _, s := range []hw.AccessType{R, W} {
+				if NonSerializable(f, r, s) {
+					n++
+				}
+			}
+		}
+	}
+	if n != 4 {
+		t.Errorf("%d non-serializable interleavings, paper says 4", n)
+	}
+}
+
+// TestNonSerializableBruteForce verifies the taxonomy against a direct
+// simulation: the interleaved execution is non-serializable iff its
+// observable outcome (values read, final memory value) differs from both
+// serial orders (remote-first and remote-last).
+func TestNonSerializableBruteForce(t *testing.T) {
+	// Simulate on concrete values: initial value 0, the local thread's two
+	// writes store distinct values 1 and 3, the remote write stores 2.
+	// Observations: local first read, remote read, local second read, final
+	// value. Distinct local write values matter: with identical values the
+	// W-R-W dirty read would be indistinguishable from the serial order.
+	type obs struct{ r1, rRemote, r2, final int }
+	run := func(ops [3]struct {
+		who  int // 0 local, 1 remote
+		kind hw.AccessType
+	}) obs {
+		mem := 0
+		o := obs{-1, -1, -1, -1}
+		localReadCount, localWriteCount := 0, 0
+		for _, op := range ops {
+			switch {
+			case op.kind == W && op.who == 0:
+				mem = 1 + 2*localWriteCount
+				localWriteCount++
+			case op.kind == W && op.who == 1:
+				mem = 2
+			case op.kind == R && op.who == 0:
+				if localReadCount == 0 {
+					o.r1 = mem
+				} else {
+					o.r2 = mem
+				}
+				localReadCount++
+			case op.kind == R && op.who == 1:
+				o.rRemote = mem
+			}
+		}
+		o.final = mem
+		return o
+	}
+	for _, f := range []hw.AccessType{R, W} {
+		for _, r := range []hw.AccessType{R, W} {
+			for _, s := range []hw.AccessType{R, W} {
+				type op = struct {
+					who  int
+					kind hw.AccessType
+				}
+				interleaved := run([3]op{{0, f}, {1, r}, {0, s}})
+				serialAfter := run([3]op{{0, f}, {0, s}, {1, r}})
+				serialBefore := run([3]op{{1, r}, {0, f}, {0, s}})
+				serializable := interleaved == serialAfter || interleaved == serialBefore
+				if got := NonSerializable(f, r, s); got == serializable {
+					t.Errorf("(%v,%v,%v): NonSerializable=%v but brute-force serializable=%v",
+						f, r, s, got, serializable)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure6 checks the watch-type derivation for the four known pairs and
+// the unknown-second-access case.
+func TestFigure6(t *testing.T) {
+	cases := []struct {
+		first, second, want hw.AccessType
+	}{
+		{R, R, W},
+		{R, W, W},
+		{W, R, W},
+		{W, W, R},
+		{W, hw.ReadWrite, hw.ReadWrite}, // second access unknown: watch both
+		{R, hw.ReadWrite, W},
+	}
+	for _, c := range cases {
+		if got := WatchType(c.first, c.second); got != c.want {
+			t.Errorf("WatchType(%v,%v) = %v, want %v", c.first, c.second, got, c.want)
+		}
+	}
+}
+
+// Property: WatchType is complete and minimal — a remote access type is
+// watched iff it can form a non-serializable interleaving with the pair.
+func TestWatchTypeProperty(t *testing.T) {
+	f := func(fSel, sSel uint8) bool {
+		types := []hw.AccessType{R, W}
+		first := types[fSel%2]
+		second := types[sSel%2]
+		w := WatchType(first, second)
+		for _, remote := range types {
+			needs := NonSerializable(first, remote, second)
+			watched := w&remote != 0
+			if needs != watched {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViolationCases(t *testing.T) {
+	cases := []struct {
+		first, second hw.AccessType
+		remotes       []hw.AccessType
+		want          bool
+	}{
+		{R, R, nil, false},
+		{R, R, []hw.AccessType{R}, false},
+		{R, R, []hw.AccessType{W}, true},
+		{R, R, []hw.AccessType{R, R, W}, true},
+		{W, W, []hw.AccessType{W}, false},
+		{W, W, []hw.AccessType{R}, true},
+		{W, R, []hw.AccessType{R}, false},
+		{W, R, []hw.AccessType{W}, true},
+		{R, W, []hw.AccessType{W}, true},
+		{R, W, []hw.AccessType{R}, false},
+		// A recorded remote RW access (e.g. union register) decomposes.
+		{R, R, []hw.AccessType{hw.ReadWrite}, true},
+		{W, W, []hw.AccessType{hw.ReadWrite}, true},
+	}
+	for _, c := range cases {
+		if got := Violation(c.first, c.second, c.remotes); got != c.want {
+			t.Errorf("Violation(%v,%v,%v) = %v, want %v", c.first, c.second, c.remotes, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package isa
+
+import "fmt"
+
+// Encoder assembles instructions into a binary code stream. It supports
+// labels with back-patching so the compiler can emit forward branches.
+type Encoder struct {
+	code    []byte
+	patches []patch
+	labels  map[string]uint32
+}
+
+type patch struct {
+	at    uint32 // offset of the 32-bit address field to patch
+	label string
+}
+
+// NewEncoder returns an empty Encoder.
+func NewEncoder() *Encoder { return &Encoder{labels: make(map[string]uint32)} }
+
+// PC returns the current emission offset.
+func (e *Encoder) PC() uint32 { return uint32(len(e.code)) }
+
+func (e *Encoder) put8(v uint8) { e.code = append(e.code, v) }
+func (e *Encoder) put32(v uint32) {
+	e.code = append(e.code, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (e *Encoder) put64(v uint64) {
+	e.put32(uint32(v))
+	e.put32(uint32(v >> 32))
+}
+
+// Label defines label name at the current PC.
+func (e *Encoder) Label(name string) {
+	e.labels[name] = e.PC()
+}
+
+// Finish resolves all pending label references and returns the code. It
+// returns an error if any referenced label was never defined.
+func (e *Encoder) Finish() ([]byte, error) {
+	for _, p := range e.patches {
+		tgt, ok := e.labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", p.label)
+		}
+		e.code[p.at] = byte(tgt)
+		e.code[p.at+1] = byte(tgt >> 8)
+		e.code[p.at+2] = byte(tgt >> 16)
+		e.code[p.at+3] = byte(tgt >> 24)
+	}
+	e.patches = nil
+	return e.code, nil
+}
+
+func (e *Encoder) ref(label string) {
+	e.patches = append(e.patches, patch{at: e.PC(), label: label})
+	e.put32(0)
+}
+
+// LabelPC returns the resolved PC of a defined label.
+func (e *Encoder) LabelPC(name string) (uint32, bool) {
+	pc, ok := e.labels[name]
+	return pc, ok
+}
+
+// Nop emits a NOP.
+func (e *Encoder) Nop() { e.put8(uint8(OpNOP)) }
+
+// Hlt emits a HLT.
+func (e *Encoder) Hlt() { e.put8(uint8(OpHLT)) }
+
+// MovImm emits the shortest move-immediate for v into rd.
+func (e *Encoder) MovImm(rd uint8, v int64) {
+	if v == int64(int32(v)) {
+		e.put8(uint8(OpMOVL))
+		e.put8(rd)
+		e.put32(uint32(int32(v)))
+		return
+	}
+	e.put8(uint8(OpMOVQ))
+	e.put8(rd)
+	e.put64(uint64(v))
+}
+
+// MovLabel emits MOVL rd, <pc of label>, resolved at Finish. Used to
+// materialize function entry addresses (e.g. for spawn).
+func (e *Encoder) MovLabel(rd uint8, label string) {
+	e.put8(uint8(OpMOVL))
+	e.put8(rd)
+	e.ref(label)
+}
+
+// MovReg emits MOVR rd, rs.
+func (e *Encoder) MovReg(rd, rs uint8) {
+	e.put8(uint8(OpMOVR))
+	e.put8(rd)
+	e.put8(rs)
+}
+
+// ALU emits a three-register ALU or comparison instruction.
+func (e *Encoder) ALU(op Op, rd, ra, rb uint8) {
+	if op < OpADD || op > OpCGE {
+		panic(fmt.Sprintf("isa: ALU called with %v", op))
+	}
+	e.put8(uint8(op))
+	e.put8(rd)
+	e.put8(ra)
+	e.put8(rb)
+}
+
+// AddImm emits ADDI rd, ra, imm.
+func (e *Encoder) AddImm(rd, ra uint8, imm int32) {
+	e.put8(uint8(OpADDI))
+	e.put8(rd)
+	e.put8(ra)
+	e.put32(uint32(imm))
+}
+
+// Load emits LD{size} rd, [addr].
+func (e *Encoder) Load(rd uint8, addr uint32, size int) {
+	op, err := WidthOp(OpLD, size)
+	if err != nil {
+		panic(err)
+	}
+	e.put8(uint8(op))
+	e.put8(rd)
+	e.put32(addr)
+}
+
+// Store emits ST{size} [addr], rs.
+func (e *Encoder) Store(addr uint32, rs uint8, size int) {
+	op, err := WidthOp(OpST, size)
+	if err != nil {
+		panic(err)
+	}
+	e.put8(uint8(op))
+	e.put8(rs)
+	e.put32(addr)
+}
+
+// LoadReg emits LDR{size} rd, [rb+off].
+func (e *Encoder) LoadReg(rd, rb uint8, off int32, size int) {
+	op, err := WidthOp(OpLDR, size)
+	if err != nil {
+		panic(err)
+	}
+	e.put8(uint8(op))
+	e.put8(rd)
+	e.put8(rb)
+	e.put32(uint32(off))
+}
+
+// StoreReg emits STR{size} [rb+off], rs.
+func (e *Encoder) StoreReg(rb uint8, off int32, rs uint8, size int) {
+	op, err := WidthOp(OpSTR, size)
+	if err != nil {
+		panic(err)
+	}
+	e.put8(uint8(op))
+	e.put8(rb)
+	e.put8(rs)
+	e.put32(uint32(off))
+}
+
+// Push emits PUSH rs.
+func (e *Encoder) Push(rs uint8) {
+	e.put8(uint8(OpPUSH))
+	e.put8(rs)
+}
+
+// Pop emits POP rd.
+func (e *Encoder) Pop(rd uint8) {
+	e.put8(uint8(OpPOP))
+	e.put8(rd)
+}
+
+// PushMem emits PUSHM{size} [addr]: a memory-to-memory move that reads addr
+// and writes the value to the stack. This is the instruction that exercises
+// the prevention engine's "remote read landed in memory" path.
+func (e *Encoder) PushMem(addr uint32, size int) {
+	op, err := WidthOp(OpPUSHM, size)
+	if err != nil {
+		panic(err)
+	}
+	e.put8(uint8(op))
+	e.put32(addr)
+}
+
+// Jmp emits JMP to a label.
+func (e *Encoder) Jmp(label string) {
+	e.put8(uint8(OpJMP))
+	e.ref(label)
+}
+
+// Jz emits JZ rs, label.
+func (e *Encoder) Jz(rs uint8, label string) {
+	e.put8(uint8(OpJZ))
+	e.put8(rs)
+	e.ref(label)
+}
+
+// Jnz emits JNZ rs, label.
+func (e *Encoder) Jnz(rs uint8, label string) {
+	e.put8(uint8(OpJNZ))
+	e.put8(rs)
+	e.ref(label)
+}
+
+// Call emits CALL to a label.
+func (e *Encoder) Call(label string) {
+	e.put8(uint8(OpCALL))
+	e.ref(label)
+}
+
+// CallMem emits CALLM [addr]: an indirect call that reads the target PC from
+// memory, then pushes the return address. The memory read can hit a
+// watchpoint, which is the paper's §3.3 call-instruction special case.
+func (e *Encoder) CallMem(addr uint32) {
+	e.put8(uint8(OpCALLM))
+	e.put32(addr)
+}
+
+// Ret emits RET.
+func (e *Encoder) Ret() { e.put8(uint8(OpRET)) }
+
+// Sys emits SYS n.
+func (e *Encoder) Sys(n uint8) {
+	e.put8(uint8(OpSYS))
+	e.put8(n)
+}
+
+// Disassemble decodes all of code into printable lines ("pc: mnemonic").
+func Disassemble(code []byte) ([]string, error) {
+	var out []string
+	for pc := uint32(0); int(pc) < len(code); {
+		in, err := Decode(code, pc)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, fmt.Sprintf("%06x: %s", pc, in))
+		pc += uint32(in.Len)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package isa
+
+import "fmt"
+
+// BoundaryTable is the result of the paper's binary pre-processing pass
+// (§3.3). Because instructions are variable length, the kernel cannot move
+// the program counter back a fixed amount after a trap-after-access
+// watchpoint fires. The table records, for every instruction that can access
+// data memory, the mapping from the PC of the instruction *following* it
+// back to the PC of the instruction itself. Subroutine entry points are
+// recorded separately to handle the CALLM special case: after an indirect
+// call whose memory read trapped, the reported PC is the callee's first
+// instruction, and the call site must be recovered from the return address
+// on the stack.
+type BoundaryTable struct {
+	// prev maps next-PC -> PC of the memory-accessing instruction that
+	// ends right before it.
+	prev map[uint32]uint32
+	// entries is the set of subroutine entry PCs.
+	entries map[uint32]bool
+}
+
+// CallMLen is the encoded length of the CALLM instruction, used to step back
+// from a return address to the call site.
+const CallMLen = 5
+
+// Preprocess linearly scans the binary and builds the boundary table. It is
+// the analog of the paper's pre-processing pass over the x86 binary;
+// funcEntries lists the first instruction of every subroutine (produced by
+// the compiler, or by symbol-table extraction for a stripped binary).
+func Preprocess(code []byte, funcEntries []uint32) (*BoundaryTable, error) {
+	t := &BoundaryTable{
+		prev:    make(map[uint32]uint32),
+		entries: make(map[uint32]bool, len(funcEntries)),
+	}
+	for _, pc := range funcEntries {
+		t.entries[pc] = true
+	}
+	for pc := uint32(0); int(pc) < len(code); {
+		in, err := Decode(code, pc)
+		if err != nil {
+			return nil, fmt.Errorf("isa: preprocess: %w", err)
+		}
+		next := pc + uint32(in.Len)
+		if AccessesMemory(in.Op) {
+			t.prev[next] = pc
+		}
+		pc = next
+	}
+	return t, nil
+}
+
+// PrevAccess returns the PC of the memory-accessing instruction immediately
+// preceding nextPC, as recorded by the pre-processing pass.
+func (t *BoundaryTable) PrevAccess(nextPC uint32) (uint32, bool) {
+	pc, ok := t.prev[nextPC]
+	return pc, ok
+}
+
+// IsFuncEntry reports whether pc is the first instruction of a subroutine.
+func (t *BoundaryTable) IsFuncEntry(pc uint32) bool { return t.entries[pc] }
+
+// NumAccessInstrs returns how many memory-accessing instructions were found.
+func (t *BoundaryTable) NumAccessInstrs() int { return len(t.prev) }

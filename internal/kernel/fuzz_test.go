@@ -1,0 +1,124 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"kivati/internal/hw"
+)
+
+// TestKernelStateFuzz drives the kernel with random operation sequences and
+// checks structural invariants after every step:
+//
+//  1. every armed, non-stale, non-guard watchpoint carries at least one AR;
+//  2. AR lists are consistent: an AR on a watchpoint appears in its thread's
+//     table with a matching WP index, and vice versa;
+//  3. no AR is attached to two watchpoints;
+//  4. a disarmed register has no metadata left behind.
+func TestKernelStateFuzz(t *testing.T) {
+	addrs := []uint32{0x100, 0x108, 0x110, 0x118, 0x120}
+	types := []hw.AccessType{hw.Read, hw.Write, hw.ReadWrite}
+
+	for seed := int64(1); seed <= 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k, m := newKernelWithMock(Config{
+			NumWatchpoints:  2 + rng.Intn(3),
+			TimeoutTicks:    500,
+			Opt:             []OptLevel{OptBase, OptOptimized}[rng.Intn(2)],
+			MaxBeginRetries: 2,
+		})
+		for step := 0; step < 400; step++ {
+			tid := rng.Intn(4)
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				k.BeginAtomic(tid, uint32(rng.Intn(64)), 1+rng.Intn(12),
+					addrs[rng.Intn(len(addrs))], 8,
+					types[rng.Intn(len(types))], types[rng.Intn(2)+0]|hw.Read>>uint(rng.Intn(1)))
+			case 3, 4:
+				k.EndAtomic(tid, 1+rng.Intn(12), types[rng.Intn(2)])
+			case 5:
+				m.depths[tid] = rng.Intn(3)
+				k.ClearAR(tid)
+			case 6:
+				// Deliver a trap on a random register with a random access.
+				idx := rng.Intn(k.Cfg.NumWatchpoints)
+				k.HandleTrap(tid, uint32(rng.Intn(64)), Access{
+					Addr: addrs[rng.Intn(len(addrs))], Size: 8,
+					Type: types[rng.Intn(2)],
+				}, idx)
+			case 7:
+				// Advance time: fire pending timeouts.
+				m.advance(m.now + uint64(rng.Intn(800)))
+			case 8:
+				// Resume a random blocked thread (scheduler activity).
+				for bt := range m.blocked {
+					m.Resume(bt)
+					break
+				}
+			case 9:
+				if rng.Intn(6) == 0 {
+					k.ThreadExited(tid)
+				} else {
+					k.ReconcileStale()
+				}
+			}
+			checkInvariants(t, k, seed, step)
+			if t.Failed() {
+				return
+			}
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, k *Kernel, seed int64, step int) {
+	t.Helper()
+	seen := map[*ActiveAR]int{}
+	for i := range k.Canon.WPs {
+		wp := k.Canon.WPs[i]
+		m := k.Meta[i]
+		if wp.Armed && !m.Stale && !m.Guard && len(m.ARs) == 0 {
+			t.Errorf("seed %d step %d: wp%d armed with no ARs (%+v)", seed, step, i, wp)
+		}
+		if !wp.Armed {
+			if len(m.ARs) != 0 || len(m.TrapSuspended) != 0 || len(m.BeginSuspended) != 0 || m.Stale || m.Guard {
+				t.Errorf("seed %d step %d: wp%d disarmed but metadata persists: %+v", seed, step, i, m)
+			}
+		}
+		for _, ar := range m.ARs {
+			if prev, dup := seen[ar]; dup {
+				t.Errorf("seed %d step %d: AR%d on wp%d and wp%d", seed, step, ar.ID, prev, i)
+			}
+			seen[ar] = i
+			if ar.WP != i {
+				t.Errorf("seed %d step %d: AR%d thinks it is on wp%d, found on wp%d", seed, step, ar.ID, ar.WP, i)
+			}
+			// It must be in its thread's table.
+			found := false
+			for _, ta := range k.ActiveARs(ar.Thread) {
+				if ta == ar {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("seed %d step %d: AR%d on wp%d missing from thread %d's table", seed, step, ar.ID, i, ar.Thread)
+			}
+		}
+	}
+	// Every AR in a thread table with WP >= 0 must be on that watchpoint.
+	for tid := 0; tid < 4; tid++ {
+		for _, ar := range k.ActiveARs(tid) {
+			if ar.WP < 0 {
+				continue
+			}
+			found := false
+			for _, wa := range k.Meta[ar.WP].ARs {
+				if wa == ar {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("seed %d step %d: thread %d AR%d claims wp%d but is not on it", seed, step, tid, ar.ID, ar.WP)
+			}
+		}
+	}
+}

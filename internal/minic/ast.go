@@ -1,0 +1,223 @@
+package minic
+
+// Type describes a MiniC value type. The base type is always a 64-bit
+// integer; a variable may additionally be a pointer to int or an array of
+// int. This mirrors the subset of C the paper's examples use (scalars,
+// pointers and arrays of shared data).
+type Type struct {
+	Ptr      bool // int*
+	ArrayLen int  // >0 for int[N]
+}
+
+// Size returns the variable's size in bytes (elements are 8 bytes).
+func (t Type) Size() int {
+	if t.ArrayLen > 0 {
+		return 8 * t.ArrayLen
+	}
+	return 8
+}
+
+func (t Type) String() string {
+	switch {
+	case t.Ptr:
+		return "int*"
+	case t.ArrayLen > 0:
+		return "int[]"
+	default:
+		return "int"
+	}
+}
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global named name, or nil.
+func (p *Program) Global(name string) *VarDecl {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// VarDecl declares a global, parameter or local variable.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr // optional initializer (globals: constant only)
+}
+
+// FuncDecl declares a function. RetPtr distinguishes `int *f()` from
+// `int f()`; Void marks `void f()`.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []*VarDecl
+	Void   bool
+	RetPtr bool
+	Body   *Block
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// DeclStmt is a local variable declaration, with optional initializer.
+type DeclStmt struct {
+	Pos  Pos
+	Decl *VarDecl
+}
+
+// AssignStmt assigns RHS to an lvalue (Ident, Deref or Index expression).
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil
+}
+
+// Annotation kinds inserted by the static annotator.
+type AnnotKind int
+
+const (
+	AnnotBegin AnnotKind = iota // begin_atomic
+	AnnotEnd                    // end_atomic
+	AnnotClear                  // clear_ar
+)
+
+// Access type bits used in annotations; these mirror hw.Read/hw.Write but
+// are kept as plain integers so the AST package has no dependencies.
+const (
+	AccRead  = 1
+	AccWrite = 2
+)
+
+// AnnotStmt is a begin_atomic / end_atomic / clear_ar annotation inserted by
+// the static annotator (never produced by the parser).
+type AnnotStmt struct {
+	Pos    Pos
+	Kind   AnnotKind
+	ARID   int
+	Target Expr  // begin: lvalue whose address the watchpoint monitors
+	Size   int   // begin: watched width in bytes
+	Watch  uint8 // begin: remote access types to watch (AccRead|AccWrite bits)
+	First  uint8 // begin: first local access type
+	Second uint8 // end: second local access type
+}
+
+func (*DeclStmt) stmt()   {}
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ExprStmt) stmt()   {}
+func (*ReturnStmt) stmt() {}
+func (*AnnotStmt) stmt()  {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// Ident names a variable.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is a prefix operation: "-", "!", "*" (deref), "&" (address-of).
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is an infix operation.
+type Binary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+	Y   Expr
+}
+
+// Call invokes a function or builtin by name.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Index accesses an array element: Name[Idx].
+type Index struct {
+	Pos  Pos
+	Name string
+	Idx  Expr
+}
+
+func (*IntLit) expr() {}
+func (*Ident) expr()  {}
+func (*Unary) expr()  {}
+func (*Binary) expr() {}
+func (*Call) expr()   {}
+func (*Index) expr()  {}
+
+// Builtins are the runtime services MiniC programs may call; they compile to
+// SYS instructions rather than CALLs.
+var Builtins = map[string]int{
+	"exit": 0, "lock": 1, "unlock": 1, "yield": 0, "sleep": 1,
+	"print": 1, "spawn": 2, "rand": 0, "recv": 0, "send": 1, "nanos": 0,
+}
+
+// IsBuiltin reports whether name is a builtin and its arity.
+func IsBuiltin(name string) (arity int, ok bool) {
+	arity, ok = Builtins[name]
+	return arity, ok
+}

@@ -1,0 +1,205 @@
+package minic
+
+import "fmt"
+
+// checkProgram performs name resolution and arity/type sanity checks. MiniC
+// is deliberately small, so this is not a full type checker — it catches the
+// errors that would otherwise surface as confusing compiler panics.
+func checkProgram(prog *Program) error {
+	seen := map[string]bool{}
+	for _, g := range prog.Globals {
+		if seen[g.Name] {
+			return fmt.Errorf("minic: %v: duplicate global %q", g.Pos, g.Name)
+		}
+		seen[g.Name] = true
+		if g.Init != nil {
+			if _, ok := g.Init.(*IntLit); !ok {
+				return fmt.Errorf("minic: %v: global initializer for %q must be a constant", g.Pos, g.Name)
+			}
+		}
+	}
+	fnames := map[string]*FuncDecl{}
+	for _, f := range prog.Funcs {
+		if fnames[f.Name] != nil {
+			return fmt.Errorf("minic: %v: duplicate function %q", f.Pos, f.Name)
+		}
+		if _, ok := IsBuiltin(f.Name); ok {
+			return fmt.Errorf("minic: %v: function %q shadows a builtin", f.Pos, f.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("minic: %v: function %q collides with a global", f.Pos, f.Name)
+		}
+		fnames[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		c := &checker{prog: prog, fn: f, scope: map[string]*VarDecl{}}
+		for _, g := range prog.Globals {
+			c.scope[g.Name] = g
+		}
+		for _, p := range f.Params {
+			if c.fnLocal(p.Name) {
+				return fmt.Errorf("minic: %v: duplicate parameter %q", p.Pos, p.Name)
+			}
+			c.locals = append(c.locals, p)
+			c.scope[p.Name] = p
+		}
+		if err := c.block(f.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog   *Program
+	fn     *FuncDecl
+	scope  map[string]*VarDecl // name -> decl (globals shadowed by locals)
+	locals []*VarDecl
+}
+
+func (c *checker) fnLocal(name string) bool {
+	for _, l := range c.locals {
+		if l.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) block(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		d := st.Decl
+		if c.fnLocal(d.Name) {
+			return fmt.Errorf("minic: %v: duplicate local %q", d.Pos, d.Name)
+		}
+		if d.Init != nil {
+			if err := c.expr(d.Init); err != nil {
+				return err
+			}
+		}
+		c.locals = append(c.locals, d)
+		c.scope[d.Name] = d
+		return nil
+	case *AssignStmt:
+		if err := c.expr(st.LHS); err != nil {
+			return err
+		}
+		return c.expr(st.RHS)
+	case *IfStmt:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.block(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		return c.block(st.Body)
+	case *ExprStmt:
+		return c.expr(st.X)
+	case *ReturnStmt:
+		if st.X != nil {
+			if c.fn.Void {
+				return fmt.Errorf("minic: %v: void function %q returns a value", st.Pos, c.fn.Name)
+			}
+			return c.expr(st.X)
+		}
+		return nil
+	case *AnnotStmt:
+		return nil // inserted by the annotator, trusted
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (c *checker) expr(x Expr) error {
+	switch e := x.(type) {
+	case *IntLit:
+		return nil
+	case *Ident:
+		if c.scope[e.Name] == nil {
+			return fmt.Errorf("minic: %v: undefined variable %q", e.Pos, e.Name)
+		}
+		return nil
+	case *Index:
+		d := c.scope[e.Name]
+		if d == nil {
+			return fmt.Errorf("minic: %v: undefined array %q", e.Pos, e.Name)
+		}
+		if d.Type.ArrayLen == 0 && !d.Type.Ptr {
+			return fmt.Errorf("minic: %v: %q is not an array", e.Pos, e.Name)
+		}
+		return c.expr(e.Idx)
+	case *Unary:
+		if e.Op == "*" {
+			id, ok := e.X.(*Ident)
+			if !ok {
+				return fmt.Errorf("minic: deref of non-identifier")
+			}
+			d := c.scope[id.Name]
+			if d == nil {
+				return fmt.Errorf("minic: %v: undefined variable %q", id.Pos, id.Name)
+			}
+			if !d.Type.Ptr {
+				return fmt.Errorf("minic: %v: dereference of non-pointer %q", id.Pos, id.Name)
+			}
+			return nil
+		}
+		return c.expr(e.X)
+	case *Binary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		return c.expr(e.Y)
+	case *Call:
+		if arity, ok := IsBuiltin(e.Name); ok {
+			if len(e.Args) != arity {
+				return fmt.Errorf("minic: %v: builtin %q takes %d argument(s), got %d",
+					e.Pos, e.Name, arity, len(e.Args))
+			}
+			if e.Name == "spawn" {
+				id, ok := e.Args[0].(*Ident)
+				if !ok || c.prog.Func(id.Name) == nil {
+					return fmt.Errorf("minic: %v: spawn's first argument must be a function name", e.Pos)
+				}
+				return c.expr(e.Args[1])
+			}
+			for _, a := range e.Args {
+				if err := c.expr(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		fn := c.prog.Func(e.Name)
+		if fn == nil {
+			return fmt.Errorf("minic: %v: undefined function %q", e.Pos, e.Name)
+		}
+		if len(e.Args) != len(fn.Params) {
+			return fmt.Errorf("minic: %v: function %q takes %d argument(s), got %d",
+				e.Pos, e.Name, len(fn.Params), len(e.Args))
+		}
+		for _, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unknown expression %T", x)
+}

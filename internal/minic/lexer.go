@@ -1,0 +1,160 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer tokenizes MiniC source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return fmt.Errorf("minic: %v: unterminated block comment", start)
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// twoCharPuncts lists the multi-character operators, longest match first.
+var twoCharPuncts = []string{"==", "!=", "<=", ">=", "&&", "||", "<<", ">>"}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := l.off
+		for l.off < len(l.src) && (isIdentPart(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("minic: %v: bad integer literal %q", pos, text)
+		}
+		return Token{Kind: TokInt, Text: text, Val: v, Pos: pos}, nil
+	}
+	// Punctuation.
+	if l.off+1 < len(l.src) {
+		two := l.src[l.off : l.off+2]
+		for _, p := range twoCharPuncts {
+			if two == p {
+				l.advance()
+				l.advance()
+				return Token{Kind: TokPunct, Text: p, Pos: pos}, nil
+			}
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '!', '<', '>', '=',
+		'(', ')', '{', '}', '[', ']', ';', ',':
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(c), Pos: pos}, nil
+	}
+	return Token{}, fmt.Errorf("minic: %v: unexpected character %q", pos, string(c))
+}
+
+// LexAll tokenizes the whole input (excluding the trailing EOF token).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

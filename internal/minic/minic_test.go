@@ -1,0 +1,270 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("int x = 42; // comment\nwhile (x <= 0x10) { x = x << 2; } /* block */")
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	want := "int x = 42 ; while ( x <= 16 ) { x = x << 2 ; }"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("int\n  x;")
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("int at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "/* unterminated", "999999999999999999999999999"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q): want error", src)
+		}
+	}
+}
+
+const example = `
+int shared1;
+int shared2 = 7;
+int arr[4];
+int *ptr;
+int lk;
+
+void worker(int id, int *out) {
+    int tmp;
+    tmp = shared1;
+    if (tmp == 0) {
+        shared1 = tmp + 1;
+    } else {
+        shared1 = 0;
+    }
+    while (shared2 > 0) {
+        shared2 = shared2 - 1;
+        yield();
+    }
+    arr[id] = tmp;
+    *out = arr[id];
+    lock(lk);
+    unlock(lk);
+    return;
+}
+
+int *getptr() {
+    return ptr;
+}
+
+void main() {
+    spawn(worker, 1);
+    worker(0, ptr);
+}
+`
+
+func TestParseExample(t *testing.T) {
+	prog, err := Parse(example)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Globals) != 5 {
+		t.Errorf("got %d globals, want 5", len(prog.Globals))
+	}
+	if len(prog.Funcs) != 3 {
+		t.Errorf("got %d funcs, want 3", len(prog.Funcs))
+	}
+	w := prog.Func("worker")
+	if w == nil {
+		t.Fatal("worker not found")
+	}
+	if len(w.Params) != 2 || !w.Params[1].Type.Ptr {
+		t.Errorf("worker params wrong: %+v", w.Params)
+	}
+	g := prog.Global("shared2")
+	if g == nil || g.Init.(*IntLit).V != 7 {
+		t.Errorf("shared2 init wrong: %+v", g)
+	}
+	if prog.Global("arr").Type.ArrayLen != 4 {
+		t.Errorf("arr len = %d", prog.Global("arr").Type.ArrayLen)
+	}
+	gp := prog.Func("getptr")
+	if gp == nil || !gp.RetPtr || gp.Void {
+		t.Errorf("getptr decl wrong: %+v", gp)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("int a;\nvoid f() { a = 1 + 2 * 3 == 7 && 1; }")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	as := prog.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if got := ExprString(as.RHS); got != "(((1 + (2 * 3)) == 7) && 1)" {
+		t.Errorf("RHS = %s", got)
+	}
+}
+
+func TestParseElseIf(t *testing.T) {
+	prog, err := Parse("int a;\nvoid f() { if (a) { a = 1; } else if (a == 2) { a = 3; } else { a = 4; } }")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ifs := prog.Funcs[0].Body.Stmts[0].(*IfStmt)
+	inner, ok := ifs.Else.Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("else-if not nested: %T", ifs.Else.Stmts[0])
+	}
+	if inner.Else == nil {
+		t.Error("inner else missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int;",                              // missing name
+		"void g;",                           // void global
+		"int a; int a;",                     // duplicate global
+		"void f() { x = 1; }",               // undefined variable
+		"void f() { 1 + 2; }",               // non-call expression statement
+		"void f() { 1 = 2; }",               // bad lvalue
+		"int a; void f() { a(); }",          // calling a global
+		"int a; void f() { a[0] = 1; }",     // indexing a scalar
+		"int a; void f() { *a = 1; }",       // deref of non-pointer
+		"void f() { return 1; }",            // void returns value
+		"void f(int x, int x) { }",          // duplicate param
+		"int a; void f() { int a; int a; }", // duplicate local
+		"void f() { lock(); }",              // builtin arity
+		"void f() { spawn(1, 2); }",         // spawn of non-function
+		"void f() { g(1); } void g() { }",   // call arity
+		"int arr[0];",                       // zero-length array
+		"int a = b; int b;",                 // non-constant global init
+		"void f() {",                        // unterminated block
+		"int *p[3];",                        // array of pointers
+		"void lock() { }",                   // builtin shadow
+		"int f; void f() { }",               // func/global collision
+		"void f() { } void f() { }",         // duplicate function
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog, err := Parse(example)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	printed := Print(prog)
+	// Re-parsing the printed output must succeed and print identically
+	// (fixed point).
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("Parse(printed): %v\nsource:\n%s", err, printed)
+	}
+	if printed2 := Print(prog2); printed2 != printed {
+		t.Errorf("print not a fixed point:\n--- first\n%s\n--- second\n%s", printed, printed2)
+	}
+}
+
+func TestPrintAnnotations(t *testing.T) {
+	prog, err := Parse("int s;\nvoid f() { s = 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Funcs[0].Body
+	begin := &AnnotStmt{Kind: AnnotBegin, ARID: 3, Target: &Ident{Name: "s"}, Size: 8, Watch: AccWrite, First: AccRead}
+	end := &AnnotStmt{Kind: AnnotEnd, ARID: 3, Second: AccWrite}
+	clr := &AnnotStmt{Kind: AnnotClear}
+	body.Stmts = append([]Stmt{begin}, append(body.Stmts, end, clr)...)
+	out := Print(prog)
+	for _, want := range []string{
+		"begin_atomic(3, &s, 8, W, R);",
+		"end_atomic(3, W);",
+		"clear_ar();",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: the lexer never panics and either errors or consumes all input.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("LexAll(%q) panicked: %v", src, r)
+			}
+		}()
+		_, _ = LexAll(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary token soup.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse(%q) panicked: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeSize(t *testing.T) {
+	if (Type{}).Size() != 8 {
+		t.Error("scalar size != 8")
+	}
+	if (Type{ArrayLen: 5}).Size() != 40 {
+		t.Error("array size != 40")
+	}
+	if (Type{Ptr: true}).Size() != 8 {
+		t.Error("pointer size != 8")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]Type{
+		"int":   {},
+		"int*":  {Ptr: true},
+		"int[]": {ArrayLen: 3},
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{Line: 3, Col: 9}).String(); got != "3:9" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+}

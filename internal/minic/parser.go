@@ -1,0 +1,429 @@
+package minic
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		if err := p.parseTopLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) cur() Token {
+	if p.atEOF() {
+		last := Pos{}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: TokEOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) is(text string) bool {
+	t := p.cur()
+	return (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Text == text
+}
+
+func (p *Parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) (Token, error) {
+	if p.is(text) {
+		return p.next(), nil
+	}
+	return Token{}, fmt.Errorf("minic: %v: expected %q, found %q", p.cur().Pos, text, p.cur().String())
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	if p.cur().Kind == TokIdent {
+		return p.next(), nil
+	}
+	return Token{}, fmt.Errorf("minic: %v: expected identifier, found %q", p.cur().Pos, p.cur().String())
+}
+
+// parseTopLevel parses one global declaration or function definition.
+func (p *Parser) parseTopLevel(prog *Program) error {
+	start := p.cur()
+	isVoid := p.accept("void")
+	if !isVoid {
+		if _, err := p.expect("int"); err != nil {
+			return err
+		}
+	}
+	ptr := p.accept("*")
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.is("(") {
+		fn, err := p.parseFuncRest(start.Pos, name.Text, isVoid, ptr)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	if isVoid {
+		return fmt.Errorf("minic: %v: global %q cannot have type void", start.Pos, name.Text)
+	}
+	decl, err := p.parseVarDeclRest(start.Pos, name.Text, ptr)
+	if err != nil {
+		return err
+	}
+	prog.Globals = append(prog.Globals, decl)
+	return nil
+}
+
+// parseVarDeclRest parses the remainder of a variable declaration after the
+// type and name: optional [N], optional = init, then ';'.
+func (p *Parser) parseVarDeclRest(pos Pos, name string, ptr bool) (*VarDecl, error) {
+	d := &VarDecl{Pos: pos, Name: name, Type: Type{Ptr: ptr}}
+	if p.accept("[") {
+		if ptr {
+			return nil, fmt.Errorf("minic: %v: array of pointers not supported", pos)
+		}
+		n := p.cur()
+		if n.Kind != TokInt || n.Val <= 0 {
+			return nil, fmt.Errorf("minic: %v: expected positive array length", n.Pos)
+		}
+		p.next()
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		d.Type.ArrayLen = int(n.Val)
+	}
+	if p.accept("=") {
+		if d.Type.ArrayLen > 0 {
+			return nil, fmt.Errorf("minic: %v: array initializers not supported", pos)
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	_, err := p.expect(";")
+	return d, err
+}
+
+func (p *Parser) parseFuncRest(pos Pos, name string, isVoid, retPtr bool) (*FuncDecl, error) {
+	fn := &FuncDecl{Pos: pos, Name: name, Void: isVoid, RetPtr: retPtr}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		for {
+			ppos := p.cur().Pos
+			if _, err := p.expect("int"); err != nil {
+				return nil, err
+			}
+			ptr := p.accept("*")
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, &VarDecl{Pos: ppos, Name: id.Text, Type: Type{Ptr: ptr}})
+			if p.accept(")") {
+				break
+			}
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.atEOF() {
+			return nil, fmt.Errorf("minic: unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.is("int"):
+		p.next()
+		ptr := p.accept("*")
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.parseVarDeclRest(t.Pos, id.Text, ptr)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Pos: t.Pos, Decl: d}, nil
+	case p.is("if"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Pos: t.Pos, Cond: cond, Then: then}
+		if p.accept("else") {
+			if p.is("if") {
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = &Block{Stmts: []Stmt{inner}}
+			} else {
+				els, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = els
+			}
+		}
+		return s, nil
+	case p.is("while"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+	case p.is("return"):
+		p.next()
+		s := &ReturnStmt{Pos: t.Pos}
+		if !p.is(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		_, err := p.expect(";")
+		return s, err
+	}
+	// Assignment or expression statement. Parse an expression; if '='
+	// follows, the expression must be an lvalue.
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		if !isLvalue(x) {
+			return nil, fmt.Errorf("minic: %v: assignment target is not an lvalue", t.Pos)
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: t.Pos, LHS: x, RHS: rhs}, nil
+	}
+	if _, ok := x.(*Call); !ok {
+		return nil, fmt.Errorf("minic: %v: expression statement must be a call", t.Pos)
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: t.Pos, X: x}, nil
+}
+
+func isLvalue(x Expr) bool {
+	switch e := x.(type) {
+	case *Ident:
+		return true
+	case *Index:
+		return true
+	case *Unary:
+		return e.Op == "*"
+	}
+	return false
+}
+
+// Binary operator precedence, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *Parser) parseBin(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.is(op) {
+				pos := p.next().Pos
+				y, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &Binary{Pos: pos, Op: op, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	for _, op := range []string{"-", "!", "*", "&"} {
+		if p.is(op) {
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if op == "&" {
+				if _, ok := x.(*Ident); !ok {
+					if _, ok := x.(*Index); !ok {
+						return nil, fmt.Errorf("minic: %v: & requires a variable or array element", t.Pos)
+					}
+				}
+			}
+			if op == "*" {
+				if _, ok := x.(*Ident); !ok {
+					return nil, fmt.Errorf("minic: %v: * requires a pointer variable", t.Pos)
+				}
+			}
+			return &Unary{Pos: t.Pos, Op: op, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		return &IntLit{Pos: t.Pos, V: t.Val}, nil
+	case TokIdent:
+		p.next()
+		if p.accept("(") {
+			c := &Call{Pos: t.Pos, Name: t.Text}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					c.Args = append(c.Args, a)
+					if p.accept(")") {
+						break
+					}
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return c, nil
+		}
+		if p.accept("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &Index{Pos: t.Pos, Name: t.Text, Idx: idx}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	}
+	if p.accept("(") {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(")")
+		return x, err
+	}
+	return nil, fmt.Errorf("minic: %v: unexpected token %q", t.Pos, t.String())
+}

@@ -1,0 +1,159 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to MiniC source, including any annotation
+// statements inserted by the static annotator. It is used by the
+// kivati-annotate tool and by the annotator's golden tests (the Figure 3 and
+// Figure 4 listings of the paper).
+func Print(prog *Program) string {
+	var b strings.Builder
+	for _, g := range prog.Globals {
+		printDecl(&b, 0, g)
+	}
+	for i, f := range prog.Funcs {
+		if i > 0 || len(prog.Globals) > 0 {
+			b.WriteString("\n")
+		}
+		printFunc(&b, f)
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printDecl(b *strings.Builder, depth int, d *VarDecl) {
+	indent(b, depth)
+	if d.Type.Ptr {
+		fmt.Fprintf(b, "int *%s", d.Name)
+	} else if d.Type.ArrayLen > 0 {
+		fmt.Fprintf(b, "int %s[%d]", d.Name, d.Type.ArrayLen)
+	} else {
+		fmt.Fprintf(b, "int %s", d.Name)
+	}
+	if d.Init != nil {
+		fmt.Fprintf(b, " = %s", ExprString(d.Init))
+	}
+	b.WriteString(";\n")
+}
+
+func printFunc(b *strings.Builder, f *FuncDecl) {
+	ret := "int"
+	if f.Void {
+		ret = "void"
+	} else if f.RetPtr {
+		ret = "int *"
+	}
+	fmt.Fprintf(b, "%s %s(", ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if p.Type.Ptr {
+			fmt.Fprintf(b, "int *%s", p.Name)
+		} else {
+			fmt.Fprintf(b, "int %s", p.Name)
+		}
+	}
+	b.WriteString(") ")
+	printBlock(b, 0, f.Body)
+}
+
+func printBlock(b *strings.Builder, depth int, blk *Block) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, depth+1, s)
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+func accName(t uint8) string {
+	switch t {
+	case AccRead:
+		return "R"
+	case AccWrite:
+		return "W"
+	case AccRead | AccWrite:
+		return "RW"
+	}
+	return "-"
+}
+
+func printStmt(b *strings.Builder, depth int, s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		printDecl(b, depth, st.Decl)
+	case *AssignStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s = %s;\n", ExprString(st.LHS), ExprString(st.RHS))
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "if (%s) ", ExprString(st.Cond))
+		printBlockInline(b, depth, st.Then)
+		if st.Else != nil {
+			indent(b, depth)
+			b.WriteString("else ")
+			printBlockInline(b, depth, st.Else)
+		}
+	case *WhileStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "while (%s) ", ExprString(st.Cond))
+		printBlockInline(b, depth, st.Body)
+	case *ExprStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s;\n", ExprString(st.X))
+	case *ReturnStmt:
+		indent(b, depth)
+		if st.X != nil {
+			fmt.Fprintf(b, "return %s;\n", ExprString(st.X))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *AnnotStmt:
+		indent(b, depth)
+		switch st.Kind {
+		case AnnotBegin:
+			fmt.Fprintf(b, "begin_atomic(%d, &%s, %d, %s, %s);\n",
+				st.ARID, ExprString(st.Target), st.Size, accName(st.Watch), accName(st.First))
+		case AnnotEnd:
+			fmt.Fprintf(b, "end_atomic(%d, %s);\n", st.ARID, accName(st.Second))
+		case AnnotClear:
+			b.WriteString("clear_ar();\n")
+		}
+	}
+}
+
+func printBlockInline(b *strings.Builder, depth int, blk *Block) {
+	printBlock(b, depth, blk)
+}
+
+// ExprString renders an expression.
+func ExprString(x Expr) string {
+	switch e := x.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.V)
+	case *Ident:
+		return e.Name
+	case *Index:
+		return fmt.Sprintf("%s[%s]", e.Name, ExprString(e.Idx))
+	case *Unary:
+		return fmt.Sprintf("%s%s", e.Op, ExprString(e.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.X), e.Op, ExprString(e.Y))
+	case *Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("<%T>", x)
+}

@@ -1,0 +1,45 @@
+package minic
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokPunct   // operators and delimiters
+	TokKeyword // int, void, if, else, while, return
+)
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // for TokInt
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Val)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "if": true, "else": true,
+	"while": true, "return": true,
+}

@@ -1,0 +1,85 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses: geometric means (Table 3's summary row), means and percentiles for
+// latency distributions, and the paper's mm:ss time formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs (which must be positive);
+// it returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanU64 averages unsigned samples.
+func MeanU64(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using
+// nearest-rank on a sorted copy; 0 for empty input.
+func Percentile(xs []uint64, p float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// OverheadPct returns the percentage overhead of measured versus baseline.
+func OverheadPct(baseline, measured uint64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (float64(measured) - float64(baseline)) / float64(baseline) * 100
+}
+
+// FormatMMSS renders a duration in seconds as the paper's m:ss format.
+func FormatMMSS(seconds float64) string {
+	if seconds < 0 {
+		return "-"
+	}
+	total := int(seconds + 0.5)
+	return fmt.Sprintf("%d:%02d", total/60, total%60)
+}

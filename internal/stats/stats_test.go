@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{4, 4, 4}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(4,4,4) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean(1,100) = %v, want 10", got)
+	}
+	if got := GeoMean([]float64{2, -1}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with nonpositive input = %v, want NaN", got)
+	}
+}
+
+// Property: the geometric mean sits between min and max and is invariant
+// under permutation.
+func TestGeoMeanProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := GeoMean(xs)
+		if g < lo-1e-9 || g > hi+1e-9 {
+			return false
+		}
+		// Reverse and re-check.
+		rev := make([]float64, len(xs))
+		for i := range xs {
+			rev[i] = xs[len(xs)-1-i]
+		}
+		return math.Abs(GeoMean(rev)-g) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := MeanU64([]uint64{10, 20}); got != 15 {
+		t.Errorf("MeanU64 = %v", got)
+	}
+	if MeanU64(nil) != 0 {
+		t.Error("MeanU64(nil) != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []uint64{5, 1, 9, 3, 7}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Errorf("p100 = %d", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %d", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 || xs[4] != 7 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	if got := OverheadPct(100, 130); got != 30 {
+		t.Errorf("OverheadPct = %v", got)
+	}
+	if got := OverheadPct(0, 50); got != 0 {
+		t.Errorf("OverheadPct(0, _) = %v", got)
+	}
+	if got := OverheadPct(100, 90); got != -10 {
+		t.Errorf("negative overhead = %v", got)
+	}
+}
+
+func TestFormatMMSS(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0:00",
+		59:     "0:59",
+		60:     "1:00",
+		61.4:   "1:01",
+		3599.6: "60:00",
+		4019:   "66:59",
+	}
+	for in, want := range cases {
+		if got := FormatMMSS(in); got != want {
+			t.Errorf("FormatMMSS(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatMMSS(-1); got != "-" {
+		t.Errorf("FormatMMSS(-1) = %q", got)
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ARSummary aggregates the violations of one atomic region — the unit the
+// paper counts false positives in, and the unit a developer triages: the
+// same begin/end site violated by the same remote instruction is one
+// finding, however many times it fired.
+type ARSummary struct {
+	ARID      int
+	Func      string
+	Var       string
+	Count     int
+	Prevented int // violations whose interleaving access was reordered
+	First     uint64
+	Last      uint64
+	// RemoteSites are the distinct (thread-independent) remote PCs seen,
+	// with occurrence counts.
+	RemoteSites map[uint32]int
+	// Threads are the distinct local/remote thread IDs involved.
+	Threads map[int]bool
+	Sample  Violation
+}
+
+// Summarize groups violations by AR, ordered by descending count then AR ID.
+func Summarize(vs []Violation) []*ARSummary {
+	byAR := map[int]*ARSummary{}
+	for _, v := range vs {
+		s := byAR[v.ARID]
+		if s == nil {
+			s = &ARSummary{
+				ARID: v.ARID, Func: v.Func, Var: v.Var,
+				First: v.Tick, RemoteSites: map[uint32]int{},
+				Threads: map[int]bool{}, Sample: v,
+			}
+			byAR[v.ARID] = s
+		}
+		s.Count++
+		if v.Prevented {
+			s.Prevented++
+		}
+		if v.Tick < s.First {
+			s.First = v.Tick
+		}
+		if v.Tick > s.Last {
+			s.Last = v.Tick
+		}
+		s.RemoteSites[v.RemotePC]++
+		s.Threads[v.LocalThread] = true
+		s.Threads[v.RemoteThread] = true
+	}
+	out := make([]*ARSummary, 0, len(byAR))
+	for _, s := range byAR {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ARID < out[j].ARID
+	})
+	return out
+}
+
+// FormatReport renders a developer-facing violation report: one block per
+// violated AR with the information §2.2 says Kivati records — thread IDs,
+// the shared variable's identity and address, and the program counters of
+// the accesses involved.
+func FormatReport(vs []Violation) string {
+	if len(vs) == 0 {
+		return "no atomicity violations detected\n"
+	}
+	var b strings.Builder
+	sums := Summarize(vs)
+	fmt.Fprintf(&b, "%d violation(s) across %d atomic region(s)\n\n", len(vs), len(sums))
+	for _, s := range sums {
+		name := s.Var
+		if s.Func != "" {
+			name = s.Func + "." + s.Var
+		}
+		fmt.Fprintf(&b, "AR%-4d %-24s %4d violation(s), %d prevented\n",
+			s.ARID, name, s.Count, s.Prevented)
+		fmt.Fprintf(&b, "       local %v..%v at pc %#x..%#x, variable @%#x\n",
+			s.Sample.First, s.Sample.Second, s.Sample.BeginPC, s.Sample.EndPC, s.Sample.Addr)
+		var threads []int
+		for t := range s.Threads {
+			threads = append(threads, t)
+		}
+		sort.Ints(threads)
+		fmt.Fprintf(&b, "       threads %v, first tick %d, last tick %d\n", threads, s.First, s.Last)
+		var pcs []uint32
+		for pc := range s.RemoteSites {
+			pcs = append(pcs, pc)
+		}
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+		for _, pc := range pcs {
+			line := ""
+			if s.Sample.SrcLine > 0 && pc == s.Sample.RemotePC {
+				line = fmt.Sprintf(" (line %d)", s.Sample.SrcLine)
+			}
+			fmt.Fprintf(&b, "       remote access at pc %#x%s x%d\n", pc, line, s.RemoteSites[pc])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

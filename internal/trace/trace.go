@@ -1,0 +1,81 @@
+// Package trace defines the violation records Kivati produces. When a
+// non-serializable interleaving is detected, Kivati records the thread IDs
+// and locations of the accesses it made atomic, plus the thread ID and
+// location of the violating access (§1, §2.2) — enough for a developer to
+// decide whether the violation is a bug.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"kivati/internal/hw"
+)
+
+// Violation is one detected atomicity violation.
+type Violation struct {
+	ARID        int
+	Func        string // function containing the atomic region
+	Var         string // shared variable name
+	Addr        uint32 // address of the shared variable
+	LocalThread int
+	BeginPC     uint32 // PC of the begin_atomic site
+	EndPC       uint32 // PC of the end_atomic site
+	First       hw.AccessType
+	Second      hw.AccessType
+
+	RemoteThread int
+	RemotePC     uint32
+	RemoteType   hw.AccessType
+
+	Tick      uint64 // virtual time of detection
+	Prevented bool   // false when the remote thread was released by timeout
+	SrcLine   int    // source line of the remote access, 0 if unknown
+}
+
+func (v Violation) String() string {
+	p := "prevented"
+	if !v.Prevented {
+		p = "NOT prevented"
+	}
+	return fmt.Sprintf("violation AR%d %s.%s@%#x: local T%d %v..%v (pc %#x..%#x) interleaved by remote T%d %v at pc %#x (%s, tick %d)",
+		v.ARID, v.Func, v.Var, v.Addr, v.LocalThread, v.First, v.Second,
+		v.BeginPC, v.EndPC, v.RemoteThread, v.RemoteType, v.RemotePC, p, v.Tick)
+}
+
+// Log accumulates violations and derived statistics.
+type Log struct {
+	Violations []Violation
+	// OnViolation, if set, is invoked for each violation as it is logged.
+	// Returning true asks the machine to stop the run (used by the bug
+	// detection experiments to record time-to-detection).
+	OnViolation func(Violation) bool
+	stop        bool
+}
+
+// Add records a violation, returning true if the run should stop.
+func (l *Log) Add(v Violation) bool {
+	l.Violations = append(l.Violations, v)
+	if l.OnViolation != nil && l.OnViolation(v) {
+		l.stop = true
+	}
+	return l.stop
+}
+
+// StopRequested reports whether a violation callback asked to stop.
+func (l *Log) StopRequested() bool { return l.stop }
+
+// UniqueARs returns the distinct AR IDs with at least one violation, sorted.
+// The paper counts false positives as unique violated atomic regions (§4.2).
+func (l *Log) UniqueARs() []int {
+	set := map[int]bool{}
+	for _, v := range l.Violations {
+		set[v.ARID] = true
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"kivati/internal/hw"
+)
+
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		ARID: 3, Func: "f", Var: "s", Addr: 0x1000,
+		LocalThread: 0, First: hw.Read, Second: hw.Write,
+		RemoteThread: 1, RemotePC: 0x20, RemoteType: hw.Write,
+		Tick: 99, Prevented: true,
+	}
+	s := v.String()
+	for _, want := range []string{"AR3", "f.s", "T0", "T1", "prevented", "tick 99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+	v.Prevented = false
+	if !strings.Contains(v.String(), "NOT prevented") {
+		t.Error("unprevented violation not flagged")
+	}
+}
+
+func TestLogUniqueARs(t *testing.T) {
+	l := &Log{}
+	l.Add(Violation{ARID: 5})
+	l.Add(Violation{ARID: 2})
+	l.Add(Violation{ARID: 5})
+	got := l.UniqueARs()
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("UniqueARs = %v", got)
+	}
+	if len(l.Violations) != 3 {
+		t.Errorf("Violations = %d", len(l.Violations))
+	}
+}
+
+func TestLogStopCallback(t *testing.T) {
+	l := &Log{}
+	n := 0
+	l.OnViolation = func(v Violation) bool {
+		n++
+		return v.ARID == 2
+	}
+	if l.Add(Violation{ARID: 1}) {
+		t.Error("stop requested too early")
+	}
+	if !l.Add(Violation{ARID: 2}) {
+		t.Error("stop not requested")
+	}
+	if !l.StopRequested() {
+		t.Error("StopRequested false")
+	}
+	// Once stopped, stays stopped.
+	if !l.Add(Violation{ARID: 3}) {
+		t.Error("stop flag lost")
+	}
+	if n != 3 {
+		t.Errorf("callback invoked %d times, want 3", n)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	vs := []Violation{
+		{ARID: 2, Func: "f", Var: "x", LocalThread: 0, RemoteThread: 1, RemotePC: 0x10, Tick: 5, Prevented: true},
+		{ARID: 2, Func: "f", Var: "x", LocalThread: 1, RemoteThread: 0, RemotePC: 0x10, Tick: 9},
+		{ARID: 2, Func: "f", Var: "x", LocalThread: 0, RemoteThread: 2, RemotePC: 0x20, Tick: 3, Prevented: true},
+		{ARID: 7, Func: "g", Var: "y", LocalThread: 0, RemoteThread: 1, RemotePC: 0x30, Tick: 4},
+	}
+	sums := Summarize(vs)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	s := sums[0]
+	if s.ARID != 2 || s.Count != 3 || s.Prevented != 2 {
+		t.Errorf("AR2 summary wrong: %+v", s)
+	}
+	if s.First != 3 || s.Last != 9 {
+		t.Errorf("tick range = %d..%d", s.First, s.Last)
+	}
+	if len(s.Threads) != 3 || len(s.RemoteSites) != 2 {
+		t.Errorf("threads=%d sites=%d", len(s.Threads), len(s.RemoteSites))
+	}
+	if s.RemoteSites[0x10] != 2 {
+		t.Errorf("site 0x10 count = %d", s.RemoteSites[0x10])
+	}
+	if sums[1].ARID != 7 {
+		t.Errorf("order wrong: %+v", sums[1])
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	if got := FormatReport(nil); !strings.Contains(got, "no atomicity violations") {
+		t.Errorf("empty report = %q", got)
+	}
+	vs := []Violation{
+		{ARID: 3, Func: "f", Var: "s", Addr: 0x1000, LocalThread: 0, RemoteThread: 1,
+			RemotePC: 0x40, Tick: 7, Prevented: true, First: 1, Second: 2, SrcLine: 12},
+	}
+	out := FormatReport(vs)
+	for _, want := range []string{"AR3", "f.s", "1 prevented", "0x40", "line 12", "threads [0 1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package userlib
+
+import (
+	"testing"
+
+	"kivati/internal/hw"
+	"kivati/internal/isa"
+	"kivati/internal/kernel"
+	"kivati/internal/whitelist"
+)
+
+// stubMachine is a minimal kernel.Machine for decision-logic tests.
+type stubMachine struct {
+	mem    [1 << 12]byte
+	depths map[int]int
+}
+
+func (m *stubMachine) Now() uint64                       { return 0 }
+func (m *stubMachine) NumCores() int                     { return 2 }
+func (m *stubMachine) Suspend(int, kernel.BlockKind)     {}
+func (m *stubMachine) Resume(int)                        {}
+func (m *stubMachine) SetWakeAt(int, uint64)             {}
+func (m *stubMachine) SetEpochTarget(int, uint64)        {}
+func (m *stubMachine) ThreadDepth(tid int) int           { return m.depths[tid] }
+func (m *stubMachine) PC(int) uint32                     { return 0 }
+func (m *stubMachine) SetPC(int, uint32)                 {}
+func (m *stubMachine) Reg(int, int) int64                { return 0 }
+func (m *stubMachine) SetReg(int, int, int64)            {}
+func (m *stubMachine) LastInstrPC(int) uint32            { return 0 }
+func (m *stubMachine) Load(addr uint32, sz uint8) uint64 { return 0 }
+func (m *stubMachine) Store(uint32, uint8, uint64)       {}
+func (m *stubMachine) Boundary() *isa.BoundaryTable      { bt, _ := isa.Preprocess(nil, nil); return bt }
+func (m *stubMachine) DecodeAt(uint32) (isa.Instr, bool) { return isa.Instr{}, false }
+func (m *stubMachine) After(uint64, func())              {}
+func (m *stubMachine) EpochChanged()                     {}
+
+func newK(opt kernel.OptLevel, wl *whitelist.Whitelist) *kernel.Kernel {
+	k := kernel.New(kernel.Config{Opt: opt, NumWatchpoints: 2}, wl, nil, nil)
+	k.SetMachine(&stubMachine{depths: map[int]int{}})
+	return k
+}
+
+func TestWhitelistedBeginSkips(t *testing.T) {
+	k := newK(kernel.OptSyncVars, whitelist.FromIDs(7))
+	if d := Begin(k, 1, 0, 7, 0x100, 8, hw.Write, hw.Read); d != SkipWhitelisted {
+		t.Errorf("whitelisted begin: %v, want SkipWhitelisted", d)
+	}
+	if d := End(k, 1, 7, hw.Write); d != SkipWhitelisted {
+		t.Errorf("whitelisted end: %v, want SkipWhitelisted", d)
+	}
+	if k.Stats.WhitelistSkips != 2 {
+		t.Errorf("WhitelistSkips = %d", k.Stats.WhitelistSkips)
+	}
+	// Non-whitelisted AR still crosses (SyncVars has no userlib).
+	if d := Begin(k, 1, 0, 8, 0x100, 8, hw.Write, hw.Read); d != EnterKernel {
+		t.Errorf("non-whitelisted begin at syncvars: %v, want EnterKernel", d)
+	}
+}
+
+func TestBaseAlwaysEnters(t *testing.T) {
+	k := newK(kernel.OptBase, nil)
+	if d := Begin(k, 1, 0, 1, 0x100, 8, hw.Write, hw.Read); d != EnterKernel {
+		t.Errorf("base begin: %v", d)
+	}
+	if d := End(k, 1, 1, hw.Write); d != EnterKernel {
+		t.Errorf("base end: %v", d)
+	}
+	if d := Clear(k, 1, 0); d != EnterKernel {
+		t.Errorf("base clear: %v", d)
+	}
+}
+
+func TestOptimizedBeginPaths(t *testing.T) {
+	k := newK(kernel.OptOptimized, nil)
+
+	// Fresh address: must enter the kernel to arm.
+	if d := Begin(k, 1, 0x10, 1, 0x100, 8, hw.Write, hw.Read); d != EnterKernel {
+		t.Fatalf("fresh begin: %v", d)
+	}
+	k.BeginAtomic(1, 0x10, 1, 0x100, 8, hw.Write, hw.Read)
+
+	// Re-begin of the same active AR: user-space refresh.
+	if d := Begin(k, 1, 0x10, 1, 0x100, 8, hw.Write, hw.Read); d != SkipUserHandled {
+		t.Errorf("re-begin: %v, want SkipUserHandled", d)
+	}
+
+	// A second AR on the same address with covered types: user-space attach.
+	if d := Begin(k, 1, 0x14, 2, 0x100, 8, hw.Write, hw.Read); d != SkipUserHandled {
+		t.Errorf("covered attach: %v, want SkipUserHandled", d)
+	}
+	if k.FindAR(1, 2) == nil {
+		t.Error("user attach did not record the AR")
+	}
+
+	// An AR needing a type upgrade must cross.
+	if d := Begin(k, 1, 0x18, 3, 0x100, 8, hw.Read, hw.Write); d != EnterKernel {
+		t.Errorf("type-upgrade begin: %v, want EnterKernel", d)
+	}
+
+	// Another thread's watched address: the kernel must handle (suspend).
+	if d := Begin(k, 2, 0x20, 9, 0x100, 8, hw.Read, hw.Write); d != EnterKernel {
+		t.Errorf("remote-watched begin: %v, want EnterKernel", d)
+	}
+}
+
+func TestOptimizedExhaustionSkips(t *testing.T) {
+	k := newK(kernel.OptOptimized, nil) // 2 watchpoints
+	k.BeginAtomic(1, 0, 1, 0x100, 8, hw.Write, hw.Read)
+	k.BeginAtomic(1, 0, 2, 0x200, 8, hw.Write, hw.Read)
+	// Third distinct address: no free register, no stale — skip and log.
+	if d := Begin(k, 1, 0, 3, 0x300, 8, hw.Write, hw.Read); d != SkipUserHandled {
+		t.Fatalf("exhausted begin: %v, want SkipUserHandled", d)
+	}
+	if k.Stats.MissedARs != 1 {
+		t.Errorf("MissedARs = %d", k.Stats.MissedARs)
+	}
+}
+
+func TestOptimizedStaleForcesCrossing(t *testing.T) {
+	k := newK(kernel.OptOptimized, nil)
+	k.BeginAtomic(1, 0, 1, 0x100, 8, hw.Write, hw.Read)
+	k.BeginAtomic(1, 0, 2, 0x200, 8, hw.Write, hw.Read)
+	// Lazily release one: hardware still armed, logically free.
+	if d := End(k, 1, 1, hw.Write); d != SkipUserHandled {
+		t.Fatalf("pure-release end: %v, want SkipUserHandled", d)
+	}
+	if !k.HasStale() {
+		t.Fatal("no stale watchpoint after user-space end")
+	}
+	// A new address now requires a crossing (stale reclaim).
+	if d := Begin(k, 1, 0, 3, 0x300, 8, hw.Write, hw.Read); d != EnterKernel {
+		t.Errorf("begin with stale present: %v, want EnterKernel", d)
+	}
+}
+
+func TestEndPaths(t *testing.T) {
+	k := newK(kernel.OptOptimized, nil)
+	// Unmatched end: skip.
+	if d := End(k, 1, 42, hw.Write); d != SkipUserHandled {
+		t.Errorf("unmatched end: %v", d)
+	}
+	k.BeginAtomic(1, 0, 1, 0x100, 8, hw.Write, hw.Read)
+	// End with pending remote records must cross.
+	ar := k.FindAR(1, 1)
+	ar.Remotes = append(ar.Remotes, kernel.RemoteRec{Thread: 2, Type: hw.Write, Undone: true})
+	if d := End(k, 1, 1, hw.Write); d != EnterKernel {
+		t.Errorf("end with remotes: %v, want EnterKernel", d)
+	}
+}
+
+func TestClearPaths(t *testing.T) {
+	k := newK(kernel.OptOptimized, nil)
+	// No ARs: pure skip.
+	if d := Clear(k, 1, 0); d != SkipUserHandled {
+		t.Errorf("empty clear: %v", d)
+	}
+	// Clean ARs: user-space clear.
+	k.BeginAtomic(1, 0, 1, 0x100, 8, hw.Write, hw.Read)
+	if d := Clear(k, 1, 0); d != SkipUserHandled {
+		t.Errorf("clean clear: %v", d)
+	}
+	if k.FindAR(1, 1) != nil {
+		t.Error("user-space clear left the AR active")
+	}
+	// ARs with pending remotes: kernel.
+	k.BeginAtomic(1, 0, 2, 0x200, 8, hw.Write, hw.Read)
+	ar := k.FindAR(1, 2)
+	ar.Remotes = append(ar.Remotes, kernel.RemoteRec{Thread: 2, Type: hw.Write})
+	if d := Clear(k, 1, 0); d != EnterKernel {
+		t.Errorf("dirty clear: %v, want EnterKernel", d)
+	}
+}

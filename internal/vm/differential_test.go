@@ -1,0 +1,404 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kivati/internal/compile"
+	"kivati/internal/kernel"
+	"kivati/internal/minic"
+)
+
+// Differential testing: random single-threaded MiniC programs are executed
+// three ways — by a reference tree-walking interpreter over the AST, by the
+// VM on the vanilla binary, and by the VM on the fully-instrumented binary —
+// and all three print() streams must agree. This pins down the parser, the
+// annotator (which must never change semantics), the compiler and the
+// machine against each other.
+
+// progGen builds a random program.
+type progGen struct {
+	rng     *rand.Rand
+	b       strings.Builder
+	globals []string
+	locals  []string
+	arrays  []string // global arrays, all of size 8
+	depth   int
+	stmts   int
+}
+
+func (g *progGen) pick(vars []string) string { return vars[g.rng.Intn(len(vars))] }
+
+// expr emits a random integer expression of bounded depth using declared
+// variables. Division and modulus get a nonzero guard (|1).
+func (g *progGen) expr(d int) string {
+	if d <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.rng.Intn(200) - 100)
+		case 1:
+			if len(g.locals) > 0 && g.rng.Intn(2) == 0 {
+				return g.pick(g.locals)
+			}
+			return g.pick(g.globals)
+		default:
+			return fmt.Sprintf("%s[%d]", g.pick(g.arrays), g.rng.Intn(8))
+		}
+	}
+	a, b := g.expr(d-1), g.expr(d-1)
+	switch g.rng.Intn(12) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s / ((%s & 7) | 1))", a, b)
+	case 4:
+		return fmt.Sprintf("(%s %% ((%s & 7) | 1))", a, b)
+	case 5:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s | %s)", a, b)
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 8:
+		return fmt.Sprintf("(%s << (%s & 3))", a, b)
+	case 9:
+		return fmt.Sprintf("(%s >> (%s & 3))", a, b)
+	case 10:
+		return fmt.Sprintf("(%s < %s)", a, b)
+	default:
+		return fmt.Sprintf("(%s == %s)", a, b)
+	}
+}
+
+func (g *progGen) line(depth int, format string, args ...interface{}) {
+	g.b.WriteString(strings.Repeat("    ", depth))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteString("\n")
+	g.stmts++
+}
+
+// block emits a random statement block.
+func (g *progGen) block(depth, n int) {
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2:
+			g.line(depth, "%s = %s;", g.pick(g.globals), g.expr(2))
+		case 3, 4:
+			if len(g.locals) > 0 {
+				g.line(depth, "%s = %s;", g.pick(g.locals), g.expr(2))
+			} else {
+				g.line(depth, "%s = %s;", g.pick(g.globals), g.expr(2))
+			}
+		case 5:
+			g.line(depth, "%s[%d] = %s;", g.pick(g.arrays), g.rng.Intn(8), g.expr(2))
+		case 6:
+			g.line(depth, "print(%s);", g.expr(2))
+		case 7:
+			g.line(depth, "if (%s) {", g.expr(1))
+			g.block(depth+1, 1+g.rng.Intn(2))
+			if g.rng.Intn(2) == 0 {
+				g.line(depth, "} else {")
+				g.block(depth+1, 1+g.rng.Intn(2))
+			}
+			g.line(depth, "}")
+		case 8:
+			// A bounded loop over a fresh counter (always terminates).
+			ctr := fmt.Sprintf("c%d", g.stmts)
+			g.line(depth, "int %s;", ctr)
+			g.line(depth, "%s = 0;", ctr)
+			g.line(depth, "while (%s < %d) {", ctr, 1+g.rng.Intn(4))
+			g.block(depth+1, 1)
+			g.line(depth+1, "%s = %s + 1;", ctr, ctr)
+			g.line(depth, "}")
+		default:
+			g.line(depth, "print(%s);", g.expr(1))
+		}
+	}
+}
+
+func generateProgram(seed int64) string {
+	g := &progGen{rng: rand.New(rand.NewSource(seed))}
+	ng := 2 + g.rng.Intn(3)
+	for i := 0; i < ng; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		g.line(0, "int %s = %d;", name, g.rng.Intn(50))
+	}
+	na := 1 + g.rng.Intn(2)
+	for i := 0; i < na; i++ {
+		name := fmt.Sprintf("a%d", i)
+		g.arrays = append(g.arrays, name)
+		g.line(0, "int %s[8];", name)
+	}
+	g.line(0, "void main() {")
+	nl := 1 + g.rng.Intn(3)
+	for i := 0; i < nl; i++ {
+		name := fmt.Sprintf("l%d", i)
+		g.locals = append(g.locals, name)
+		g.line(1, "int %s = %d;", name, g.rng.Intn(20))
+	}
+	g.block(1, 4+g.rng.Intn(6))
+	g.line(1, "print(%s);", g.expr(2))
+	g.line(0, "}")
+	return g.b.String()
+}
+
+// refEval is the reference interpreter: a direct tree walk over the AST with
+// the same arithmetic semantics as the VM (64-bit wrap, shifts masked to 6
+// bits, C-style truncating division).
+type refEval struct {
+	globals map[string]int64
+	arrays  map[string][]int64
+	locals  map[string]int64
+	out     []int64
+	steps   int
+}
+
+func (r *refEval) expr(x minic.Expr) int64 {
+	switch e := x.(type) {
+	case *minic.IntLit:
+		return e.V
+	case *minic.Ident:
+		if v, ok := r.locals[e.Name]; ok {
+			return v
+		}
+		return r.globals[e.Name]
+	case *minic.Index:
+		idx := r.expr(e.Idx)
+		arr := r.arrays[e.Name]
+		if idx < 0 || idx >= int64(len(arr)) {
+			panic("ref: index out of bounds")
+		}
+		return arr[idx]
+	case *minic.Unary:
+		switch e.Op {
+		case "-":
+			return -r.expr(e.X)
+		case "!":
+			if r.expr(e.X) == 0 {
+				return 1
+			}
+			return 0
+		}
+		panic("ref: unary " + e.Op)
+	case *minic.Binary:
+		a := r.expr(e.X)
+		b := r.expr(e.Y)
+		switch e.Op {
+		case "+":
+			return a + b
+		case "-":
+			return a - b
+		case "*":
+			return a * b
+		case "/":
+			return a / b
+		case "%":
+			return a % b
+		case "&":
+			return a & b
+		case "|":
+			return a | b
+		case "^":
+			return a ^ b
+		case "<<":
+			return a << (uint64(b) & 63)
+		case ">>":
+			return int64(uint64(a) >> (uint64(b) & 63))
+		case "==":
+			return b2i(a == b)
+		case "!=":
+			return b2i(a != b)
+		case "<":
+			return b2i(a < b)
+		case "<=":
+			return b2i(a <= b)
+		case ">":
+			return b2i(a > b)
+		case ">=":
+			return b2i(a >= b)
+		case "&&":
+			return b2i(a != 0 && b != 0)
+		case "||":
+			return b2i(a != 0 || b != 0)
+		}
+		panic("ref: binary " + e.Op)
+	case *minic.Call:
+		if e.Name == "print" {
+			v := r.expr(e.Args[0])
+			r.out = append(r.out, v)
+			return 0
+		}
+		panic("ref: call " + e.Name)
+	}
+	panic(fmt.Sprintf("ref: expr %T", x))
+}
+
+func (r *refEval) assign(lhs minic.Expr, v int64) {
+	switch e := lhs.(type) {
+	case *minic.Ident:
+		if _, ok := r.locals[e.Name]; ok {
+			r.locals[e.Name] = v
+			return
+		}
+		r.globals[e.Name] = v
+	case *minic.Index:
+		idx := r.expr(e.Idx)
+		arr := r.arrays[e.Name]
+		if idx < 0 || idx >= int64(len(arr)) {
+			panic("ref: store out of bounds")
+		}
+		arr[idx] = v
+	default:
+		panic("ref: bad lvalue")
+	}
+}
+
+func (r *refEval) blockStmts(b *minic.Block) {
+	for _, s := range b.Stmts {
+		r.stmt(s)
+	}
+}
+
+func (r *refEval) stmt(s minic.Stmt) {
+	r.steps++
+	if r.steps > 1_000_000 {
+		panic("ref: too many steps")
+	}
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		v := int64(0)
+		if st.Decl.Init != nil {
+			v = r.expr(st.Decl.Init)
+		}
+		r.locals[st.Decl.Name] = v
+	case *minic.AssignStmt:
+		r.assign(st.LHS, r.expr(st.RHS))
+	case *minic.IfStmt:
+		if r.expr(st.Cond) != 0 {
+			r.blockStmts(st.Then)
+		} else if st.Else != nil {
+			r.blockStmts(st.Else)
+		}
+	case *minic.WhileStmt:
+		for r.expr(st.Cond) != 0 {
+			r.blockStmts(st.Body)
+		}
+	case *minic.ExprStmt:
+		r.expr(st.X)
+	case *minic.ReturnStmt:
+		panic("ref: return in main not supported by the generator")
+	}
+}
+
+func runReference(t *testing.T, src string) []int64 {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, src)
+	}
+	r := &refEval{
+		globals: map[string]int64{},
+		arrays:  map[string][]int64{},
+		locals:  map[string]int64{},
+	}
+	for _, g := range prog.Globals {
+		if g.Type.ArrayLen > 0 {
+			r.arrays[g.Name] = make([]int64, g.Type.ArrayLen)
+			continue
+		}
+		if g.Init != nil {
+			r.globals[g.Name] = g.Init.(*minic.IntLit).V
+		} else {
+			r.globals[g.Name] = 0
+		}
+	}
+	r.blockStmts(prog.Func("main").Body)
+	return r.out
+}
+
+func runVM(t *testing.T, src string, copts compile.Options, kcfg kernel.Config) []int64 {
+	t.Helper()
+	bin := buildSrc(t, src, copts)
+	k := kernel.New(kcfg, nil, nil, nil)
+	m, err := New(bin, k, Config{Cores: 2, Seed: 1, MaxTicks: 500_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if len(res.Faults) > 0 {
+		t.Fatalf("faults: %v\nsource:\n%s", res.Faults, src)
+	}
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q\nsource:\n%s", res.Reason, src)
+	}
+	return res.Output
+}
+
+func sameOutput(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialRandomPrograms cross-checks 120 random programs.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 20
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		src := generateProgram(seed)
+		want := runReference(t, src)
+
+		vanilla := runVM(t, src, compile.Options{}, kernel.Config{NumWatchpoints: 4})
+		if !sameOutput(want, vanilla) {
+			t.Fatalf("seed %d: vanilla output %v != reference %v\nsource:\n%s",
+				seed, vanilla, want, src)
+		}
+
+		base := runVM(t, src, compile.Options{Annotate: true},
+			kernel.Config{Opt: kernel.OptBase, NumWatchpoints: 4, TimeoutTicks: 10_000})
+		if !sameOutput(want, base) {
+			t.Fatalf("seed %d: base-instrumented output %v != reference %v\nsource:\n%s",
+				seed, base, want, src)
+		}
+
+		opt := runVM(t, src, compile.Options{Annotate: true, ShadowWrites: true},
+			kernel.Config{Opt: kernel.OptOptimized, NumWatchpoints: 4,
+				TimeoutTicks: 10_000, ShadowDelta: compile.ShadowDelta})
+		if !sameOutput(want, opt) {
+			t.Fatalf("seed %d: optimized-instrumented output %v != reference %v\nsource:\n%s",
+				seed, opt, want, src)
+		}
+	}
+}
+
+// TestDifferentialFewWatchpoints repeats a subset with a single watchpoint:
+// heavy missed-AR pressure must not affect semantics either.
+func TestDifferentialFewWatchpoints(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		src := generateProgram(seed)
+		want := runReference(t, src)
+		got := runVM(t, src, compile.Options{Annotate: true},
+			kernel.Config{Opt: kernel.OptBase, NumWatchpoints: 1, TimeoutTicks: 5_000})
+		if !sameOutput(want, got) {
+			t.Fatalf("seed %d: output %v != reference %v\nsource:\n%s", seed, got, want, src)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"kivati/internal/annotate"
+	"kivati/internal/compile"
+	"kivati/internal/kernel"
+	"kivati/internal/minic"
+)
+
+// Edge cases and failure injection for the compiler/VM pair.
+
+func TestNestedCallsPreserveScratch(t *testing.T) {
+	// g(h(x)) + x*f(y): nested user calls must save/restore the caller's
+	// live scratch registers across CALL.
+	src := `
+int f(int a) {
+    return a * 2;
+}
+int g(int a) {
+    return a + 100;
+}
+int h(int a) {
+    return g(f(a)) + f(g(a));
+}
+void main() {
+    int x;
+    x = 3;
+    print(h(x) + x * f(x));
+    print(f(g(h(1))) + h(f(g(2))));
+}`
+	_, res := run(t, src, defaultRunOpts())
+	// h(3) = g(f(3)) + f(g(3)) = (6+100) + (103*2) = 312; + 3*6 = 330
+	// f(g(h(1))): h(1) = g(2)+f(101) = 102+202 = 304; g(304)=404; f=808
+	// h(f(g(2))): g(2)=102; f=204; h(204) = g(408)+f(304) = 508+608 = 1116
+	want := []int64{330, 808 + 1116}
+	if len(res.Output) != 2 || res.Output[0] != want[0] || res.Output[1] != want[1] {
+		t.Errorf("output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestBuiltinInsideExpression(t *testing.T) {
+	// Builtins used as operands: the syscall result moves into the
+	// destination without clobbering other live operands.
+	src := `
+void main() {
+    int a;
+    a = 5;
+    print(a + nanos() * 0 + a);
+    print((rand() & 0) + a);
+}`
+	_, res := run(t, src, defaultRunOpts())
+	if len(res.Output) != 2 || res.Output[0] != 10 || res.Output[1] != 5 {
+		t.Errorf("output = %v, want [10 5]", res.Output)
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	src := `
+void main() {
+    int buf[4];
+    int i;
+    i = 0;
+    while (i < 4) {
+        buf[i] = i * i;
+        i = i + 1;
+    }
+    print(buf[0] + buf[1] + buf[2] + buf[3]);
+}`
+	_, res := run(t, src, defaultRunOpts())
+	if len(res.Output) != 1 || res.Output[0] != 14 {
+		t.Errorf("output = %v, want [14]", res.Output)
+	}
+}
+
+func TestDeepExpressionCompileError(t *testing.T) {
+	// Expressions beyond the scratch pool must fail at compile time, not
+	// corrupt registers.
+	var b strings.Builder
+	b.WriteString("int a;\nvoid main() { print(")
+	for i := 0; i < 10; i++ {
+		b.WriteString("(a + ")
+	}
+	b.WriteString("a")
+	for i := 0; i < 10; i++ {
+		b.WriteString(")")
+	}
+	// Build right-leaning instead: a + (a + (...)), which genuinely
+	// needs one register per level in this compiler.
+	src := "int a;\nvoid main() { print(" + rightLeaning(12) + "); }"
+	_ = b
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := annotate.Annotate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile.Compile(ap, compile.Options{}); err == nil {
+		t.Error("expected a compile error for register exhaustion")
+	} else if !strings.Contains(err.Error(), "too deep") {
+		t.Errorf("error = %v, want register-exhaustion message", err)
+	}
+}
+
+func rightLeaning(depth int) string {
+	if depth == 0 {
+		return "a"
+	}
+	return "(a * " + rightLeaning(depth-1) + ")"
+}
+
+func TestSpawnLimit(t *testing.T) {
+	src := `
+int n;
+void w(int id) {
+    sleep(100000);
+}
+void main() {
+    int i;
+    i = 0;
+    while (i < 100) {
+        n = spawn(w, i);
+        i = i + 1;
+    }
+    print(n);
+}`
+	o := defaultRunOpts()
+	o.mcfg.MaxTicks = 10_000_000
+	bin := buildSrc(t, src, o.compile)
+	k := newTestKernel(o)
+	m, err := New(bin, k, o.mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	// spawn returns -1 past the thread limit rather than faulting.
+	if len(res.Output) != 1 || res.Output[0] != -1 {
+		t.Errorf("output = %v, want [-1] (limit exceeded)", res.Output)
+	}
+	if m.NumThreads() != compile.MaxThreads {
+		t.Errorf("threads = %d, want %d", m.NumThreads(), compile.MaxThreads)
+	}
+}
+
+func TestOutOfBoundsIndexFaults(t *testing.T) {
+	src := `
+int arr[4];
+void main() {
+    int i;
+    i = 0 - 99999999;
+    arr[i] = 1;
+}`
+	o := defaultRunOpts()
+	bin := buildSrc(t, src, o.compile)
+	k := newTestKernel(o)
+	m, err := New(bin, k, o.mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if len(res.Faults) != 1 || !strings.Contains(res.Faults[0], "out of bounds") {
+		t.Errorf("faults = %v, want one out-of-bounds fault", res.Faults)
+	}
+}
+
+func TestStartUnknownFunction(t *testing.T) {
+	o := defaultRunOpts()
+	bin := buildSrc(t, "void main() { }", o.compile)
+	m, err := New(bin, newTestKernel(o), o.mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("nope", 0); err == nil {
+		t.Error("Start of unknown function: want error")
+	}
+}
+
+func TestFourCores(t *testing.T) {
+	src := `
+int s;
+int lk;
+int done;
+void w(int n) {
+    int i;
+    i = 0;
+    while (i < 100) {
+        lock(lk);
+        s = s + 1;
+        unlock(lk);
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(w, 0);
+    spawn(w, 0);
+    spawn(w, 0);
+    w(0);
+    while (done < 4) {
+        sleep(200);
+    }
+    print(s);
+}`
+	for _, cores := range []int{1, 2, 4} {
+		o := defaultRunOpts()
+		o.mcfg.Cores = cores
+		o.mcfg.MaxTicks = 120_000_000
+		_, res := run(t, src, o)
+		if res.Reason != "completed" {
+			t.Errorf("cores=%d: reason %q", cores, res.Reason)
+			continue
+		}
+		if res.Output[0] != 400 {
+			t.Errorf("cores=%d: s = %d, want 400", cores, res.Output[0])
+		}
+	}
+}
+
+func TestManyWatchpointsConfig(t *testing.T) {
+	src := `
+int a;
+int b;
+int c;
+void main() {
+    int t;
+    t = a + b + c;
+    a = t;
+    b = t;
+    c = t;
+    print(t);
+}`
+	o := defaultRunOpts()
+	o.kcfg.NumWatchpoints = 12
+	_, res := run(t, src, o)
+	if res.Stats.MissedARs != 0 {
+		t.Errorf("missed %d ARs with 12 registers", res.Stats.MissedARs)
+	}
+}
+
+func TestRecvWithoutGeneratorBlocksUntilMaxTicks(t *testing.T) {
+	src := `
+void main() {
+    int r;
+    r = recv();
+    print(r);
+}`
+	o := defaultRunOpts()
+	o.mcfg.MaxTicks = 50_000
+	bin := buildSrc(t, src, o.compile)
+	m, err := New(bin, newTestKernel(o), o.mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	// No arrivals ever: the machine has no runnable work and no events —
+	// it must report a deadlock (or run out the clock), not hang the host.
+	if res.Reason != "deadlock" && res.Reason != "max-ticks" {
+		t.Errorf("reason = %q", res.Reason)
+	}
+}
+
+func TestShadowWritesDoNotChangeSemantics(t *testing.T) {
+	src := `
+int s;
+void main() {
+    int t;
+    s = 41;
+    t = s;
+    print(t + 1);
+}`
+	o := defaultRunOpts()
+	o.compile = compile.Options{Annotate: true, ShadowWrites: true}
+	o.kcfg.Opt = kernel.OptOptimized
+	o.kcfg.ShadowDelta = compile.ShadowDelta
+	m, res := run(t, src, o)
+	if len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	// The shadow slot holds the mirrored first-write value.
+	sAddr := m.Bin.Globals["s"]
+	if got := int64(m.loadRaw(sAddr+compile.ShadowDelta, 8)); got != 41 {
+		t.Errorf("shadow slot = %d, want 41", got)
+	}
+}
+
+func TestPartialCostsInheritDefaults(t *testing.T) {
+	o := defaultRunOpts()
+	o.mcfg.Costs = Costs{AccessCheck: 25} // everything else zero
+	bin := buildSrc(t, "void main() { print(7); }", o.compile)
+	m, err := New(bin, newTestKernel(o), o.mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Reason != "completed" || res.Output[0] != 7 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Instructions must still cost time (defaults inherited).
+	if res.Ticks < res.Stats.Instructions {
+		t.Errorf("ticks %d < instructions %d: default costs lost", res.Ticks, res.Stats.Instructions)
+	}
+}

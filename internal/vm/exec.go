@@ -1,0 +1,478 @@
+package vm
+
+import (
+	"kivati/internal/hw"
+	"kivati/internal/isa"
+	"kivati/internal/kernel"
+	"kivati/internal/userlib"
+)
+
+// access records one committed memory access of an instruction, for the
+// post-commit watchpoint check.
+type access struct {
+	addr uint32
+	sz   uint8
+	typ  hw.AccessType
+}
+
+// step executes one instruction of the core's current thread, charges its
+// cost, and delivers a watchpoint trap if a committed access matches the
+// core's debug registers (x86 trap-after semantics).
+func (m *Machine) step(c *Core) {
+	t := c.Cur
+	in, ok := m.DecodeAt(t.PC)
+	if !ok {
+		t.LastInstr = t.PC
+		m.fault(t, "invalid instruction")
+		return
+	}
+	t.LastInstr = t.PC
+	m.Stats.Instructions++
+	m.curCore = c
+	cost := m.cfg.Costs.Instr
+
+	var accs [2]access
+	na := 0
+	trapAborted := false
+	rec := func(addr uint32, sz uint8, typ hw.AccessType) bool {
+		if int(addr)+int(sz) > len(m.Mem) {
+			m.fault(t, "memory access out of bounds: %#x", addr)
+			return false
+		}
+		if m.K.Cfg.TrapBefore {
+			// Before-access hardware (Table 1: SPARC-class): the trap
+			// fires before the access commits, aborting the instruction
+			// with the PC still on it. No undo is ever needed.
+			if idx := c.WP.Match(t.ID, addr, sz, typ); idx >= 0 {
+				trapAborted = true
+				c.WP.CopyFrom(m.K.Canon)
+				m.checkEpochWaiters()
+				m.K.HandleTrapBefore(t.ID, t.PC, kernel.Access{Addr: addr, Size: sz, Type: typ}, idx)
+				return false
+			}
+		}
+		accs[na] = access{addr, sz, typ}
+		na++
+		return true
+	}
+
+	nextPC := t.PC + uint32(in.Len)
+	r := &t.Regs
+	op := in.Op
+
+	switch {
+	case op == isa.OpNOP:
+	case op == isa.OpHLT:
+		m.exitThread(t)
+		m.curCore = nil
+		c.BusyUntil = m.clock + cost
+		return
+	case op == isa.OpMOVQ || op == isa.OpMOVL:
+		r[in.Rd] = in.Imm
+	case op == isa.OpMOVR:
+		r[in.Rd] = r[in.Ra]
+	case op >= isa.OpADD && op <= isa.OpCGE:
+		a, b := r[in.Ra], r[in.Rb]
+		var v int64
+		switch op {
+		case isa.OpADD:
+			v = a + b
+		case isa.OpSUB:
+			v = a - b
+		case isa.OpMUL:
+			v = a * b
+		case isa.OpDIV:
+			if b == 0 {
+				m.fault(t, "division by zero")
+				m.curCore = nil
+				return
+			}
+			v = a / b
+		case isa.OpMOD:
+			if b == 0 {
+				m.fault(t, "division by zero")
+				m.curCore = nil
+				return
+			}
+			v = a % b
+		case isa.OpAND:
+			v = a & b
+		case isa.OpOR:
+			v = a | b
+		case isa.OpXOR:
+			v = a ^ b
+		case isa.OpSHL:
+			v = a << (uint64(b) & 63)
+		case isa.OpSHR:
+			v = int64(uint64(a) >> (uint64(b) & 63))
+		case isa.OpCEQ:
+			v = b2i(a == b)
+		case isa.OpCNE:
+			v = b2i(a != b)
+		case isa.OpCLT:
+			v = b2i(a < b)
+		case isa.OpCLE:
+			v = b2i(a <= b)
+		case isa.OpCGT:
+			v = b2i(a > b)
+		case isa.OpCGE:
+			v = b2i(a >= b)
+		}
+		r[in.Rd] = v
+	case op == isa.OpADDI:
+		r[in.Rd] = r[in.Ra] + in.Imm
+	case op >= isa.OpLD && op < isa.OpLD+4:
+		if !rec(in.Addr, in.Sz, hw.Read) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		r[in.Rd] = signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
+	case op >= isa.OpST && op < isa.OpST+4:
+		if !rec(in.Addr, in.Sz, hw.Write) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		m.storeRaw(in.Addr, in.Sz, uint64(r[in.Ra]))
+	case op >= isa.OpLDR && op < isa.OpLDR+4:
+		addr := uint32(r[in.Ra] + in.Imm)
+		if !rec(addr, in.Sz, hw.Read) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		r[in.Rd] = signExtend(m.loadRaw(addr, in.Sz), in.Sz)
+	case op >= isa.OpSTR && op < isa.OpSTR+4:
+		addr := uint32(r[in.Ra] + in.Imm)
+		if !rec(addr, in.Sz, hw.Write) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		m.storeRaw(addr, in.Sz, uint64(r[in.Rb]))
+	case op == isa.OpPUSH:
+		sp := uint32(r[isa.RegSP]) - 8
+		if !rec(sp, 8, hw.Write) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		r[isa.RegSP] = int64(sp)
+		m.storeRaw(sp, 8, uint64(r[in.Ra]))
+	case op == isa.OpPOP:
+		sp := uint32(r[isa.RegSP])
+		if !rec(sp, 8, hw.Read) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		r[in.Rd] = int64(m.loadRaw(sp, 8))
+		r[isa.RegSP] = int64(sp + 8)
+	case op >= isa.OpPUSHM && op < isa.OpPUSHM+4:
+		// Memory-to-stack move: read the source, write the stack.
+		if !rec(in.Addr, in.Sz, hw.Read) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		v := signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
+		sp := uint32(r[isa.RegSP]) - 8
+		if !rec(sp, 8, hw.Write) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		r[isa.RegSP] = int64(sp)
+		m.storeRaw(sp, 8, uint64(v))
+	case op == isa.OpJMP:
+		nextPC = in.Addr
+	case op == isa.OpJZ:
+		if r[in.Ra] == 0 {
+			nextPC = in.Addr
+		}
+	case op == isa.OpJNZ:
+		if r[in.Ra] != 0 {
+			nextPC = in.Addr
+		}
+	case op == isa.OpCALL:
+		sp := uint32(r[isa.RegSP]) - 8
+		if !rec(sp, 8, hw.Write) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		r[isa.RegSP] = int64(sp)
+		m.storeRaw(sp, 8, uint64(nextPC))
+		nextPC = in.Addr
+		t.Depth++
+	case op == isa.OpCALLM:
+		// Indirect call: the target-PC read can hit a watchpoint — the
+		// §3.3 call special case.
+		if !rec(in.Addr, 8, hw.Read) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		target := uint32(m.loadRaw(in.Addr, 8))
+		sp := uint32(r[isa.RegSP]) - 8
+		if !rec(sp, 8, hw.Write) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		r[isa.RegSP] = int64(sp)
+		m.storeRaw(sp, 8, uint64(nextPC))
+		nextPC = target
+		t.Depth++
+	case op == isa.OpRET:
+		sp := uint32(r[isa.RegSP])
+		if !rec(sp, 8, hw.Read) {
+			if trapAborted {
+				m.finishAbort(c, t, cost)
+				return
+			}
+			m.curCore = nil
+			return
+		}
+		nextPC = uint32(m.loadRaw(sp, 8))
+		r[isa.RegSP] = int64(sp + 8)
+		if t.Depth > 0 {
+			t.Depth--
+		}
+	case op == isa.OpSYS:
+		t.PC = nextPC
+		cost += m.syscall(c, t, t.LastInstr, int(in.Imm))
+		m.finish(c, t, cost, accs[:0])
+		return
+	default:
+		m.fault(t, "unimplemented opcode %v", op)
+		m.curCore = nil
+		return
+	}
+
+	t.PC = nextPC
+	m.finish(c, t, cost, accs[:na])
+}
+
+// abortCost is charged when a before-access trap aborts an instruction.
+func (m *Machine) finishAbort(c *Core, t *Thread, cost uint64) {
+	cost += m.cfg.Costs.Trap
+	c.BusyUntil = m.clock + cost
+	if t.State != stRunning && t.OnCore == c.ID {
+		t.OnCore = -1
+		c.Cur = nil
+	}
+	m.curCore = nil
+}
+
+// finish charges the instruction cost, checks the committed accesses
+// against the core's watchpoint registers, and delivers at most one trap.
+func (m *Machine) finish(c *Core, t *Thread, cost uint64, accs []access) {
+	cost += m.cfg.Costs.AccessCheck * uint64(len(accs))
+	for _, a := range accs {
+		if idx := c.WP.Match(t.ID, a.addr, a.sz, a.typ); idx >= 0 {
+			// Trap: a kernel entry. The core adopts the canonical
+			// watchpoint state, then the kernel handles the trap
+			// (possibly undoing the access and suspending the thread).
+			cost += m.cfg.Costs.Trap
+			c.WP.CopyFrom(m.K.Canon)
+			m.checkEpochWaiters()
+			m.K.HandleTrap(t.ID, t.PC, kernel.Access{Addr: a.addr, Size: a.sz, Type: a.typ}, idx)
+			break
+		}
+	}
+	c.BusyUntil = m.clock + cost
+	if t.State != stRunning && t.OnCore == c.ID {
+		t.OnCore = -1
+		c.Cur = nil
+	}
+	m.curCore = nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func signExtend(v uint64, sz uint8) int64 {
+	switch sz {
+	case 1:
+		return int64(int8(v))
+	case 2:
+		return int64(int16(v))
+	case 4:
+		return int64(int32(v))
+	}
+	return int64(v)
+}
+
+// syscall dispatches a SYS instruction and returns its additional cost.
+// sysPC is the PC of the SYS instruction (threads suspended in begin_atomic
+// are rewound to it for retry).
+func (m *Machine) syscall(c *Core, t *Thread, sysPC uint32, n int) uint64 {
+	enterKernel := func() {
+		c.WP.CopyFrom(m.K.Canon)
+		m.checkEpochWaiters()
+	}
+	costs := m.cfg.Costs
+	switch n {
+	case isa.SysExit:
+		m.exitThread(t)
+		return costs.SyscallEnter
+
+	case isa.SysBeginAtomic:
+		m.Stats.Begins++
+		arID := int(t.Regs[0])
+		addr := uint32(t.Regs[1])
+		size := uint8(t.Regs[2])
+		watch := hw.AccessType(t.Regs[3])
+		first := hw.AccessType(t.Regs[4])
+		switch userlib.Begin(m.K, t.ID, sysPC, arID, addr, size, watch, first) {
+		case userlib.EnterKernel:
+			enterKernel()
+			m.K.BeginAtomic(t.ID, sysPC, arID, addr, size, watch, first)
+			return costs.SyscallEnter
+		default:
+			return costs.UserLibCheck
+		}
+
+	case isa.SysEndAtomic:
+		m.Stats.Ends++
+		arID := int(t.Regs[0])
+		second := hw.AccessType(t.Regs[1])
+		switch userlib.End(m.K, t.ID, arID, second) {
+		case userlib.EnterKernel:
+			enterKernel()
+			m.K.EndAtomic(t.ID, arID, second)
+			return costs.SyscallEnter
+		default:
+			return costs.UserLibCheck
+		}
+
+	case isa.SysClearAR:
+		m.Stats.Clears++
+		switch userlib.Clear(m.K, t.ID, t.Depth) {
+		case userlib.EnterKernel:
+			enterKernel()
+			m.K.ClearAR(t.ID)
+			return costs.SyscallEnter
+		default:
+			return costs.UserLibCheck
+		}
+
+	case isa.SysLock:
+		m.Stats.OtherSyscalls++
+		enterKernel()
+		m.tracef("T%d lock(%#x)", t.ID, uint32(t.Regs[0]))
+		m.K.Lock(t.ID, uint32(t.Regs[0]))
+		return costs.SyscallEnter
+
+	case isa.SysUnlock:
+		m.Stats.OtherSyscalls++
+		enterKernel()
+		m.tracef("T%d unlock(%#x)", t.ID, uint32(t.Regs[0]))
+		m.K.Unlock(t.ID, uint32(t.Regs[0]))
+		return costs.SyscallEnter
+
+	case isa.SysYield:
+		m.Stats.OtherSyscalls++
+		enterKernel()
+		m.preempt(c)
+		return costs.SyscallEnter
+
+	case isa.SysSleep:
+		m.Stats.OtherSyscalls++
+		enterKernel()
+		dur := uint64(t.Regs[0])
+		if dur == 0 {
+			dur = 1
+		}
+		m.Suspend(t.ID, kernel.BlockSleep)
+		m.SetWakeAt(t.ID, m.clock+dur)
+		return costs.SyscallEnter
+
+	case isa.SysPrint:
+		m.Stats.OtherSyscalls++
+		m.Output = append(m.Output, t.Regs[0])
+		return costs.SyscallEnter
+
+	case isa.SysSpawn:
+		m.Stats.OtherSyscalls++
+		enterKernel()
+		tid, err := m.startAt(uint32(t.Regs[0]), t.Regs[1])
+		if err != nil {
+			t.Regs[0] = -1
+		} else {
+			t.Regs[0] = int64(tid)
+		}
+		return costs.SyscallEnter
+
+	case isa.SysRand:
+		t.Regs[0] = int64(m.rng.Int63())
+		return 2
+
+	case isa.SysRecv:
+		m.Stats.OtherSyscalls++
+		enterKernel()
+		if len(m.reqQueue) > 0 {
+			t.Regs[0] = int64(m.reqQueue[0])
+			m.reqQueue = m.reqQueue[1:]
+		} else {
+			m.reqWaiters = append(m.reqWaiters, t)
+			m.Suspend(t.ID, kernel.BlockRecv)
+		}
+		return costs.SyscallEnter
+
+	case isa.SysSend:
+		m.Stats.OtherSyscalls++
+		enterKernel()
+		id := int(t.Regs[0])
+		if at, ok := m.reqArrivals[id]; ok {
+			m.Latencies = append(m.Latencies, m.clock-at)
+			delete(m.reqArrivals, id)
+		}
+		return costs.SyscallEnter
+
+	case isa.SysNanos:
+		t.Regs[0] = int64(m.clock)
+		return 2
+	}
+	m.fault(t, "unknown syscall %d", n)
+	return costs.SyscallEnter
+}

@@ -1,0 +1,509 @@
+package vm
+
+import (
+	"testing"
+
+	"kivati/internal/compile"
+	"kivati/internal/kernel"
+	"kivati/internal/trace"
+	"kivati/internal/whitelist"
+)
+
+// figure1Src is the paper's Figure 1 Firefox NSS bug pattern: a
+// check-then-assign on a shared pointer without a lock. Two threads race;
+// without atomicity both can pass the NULL check and both assign (lost
+// update).
+const figure1Src = `
+int shared_ptr;
+int hits;
+int lk;
+int done;
+void racer(int id) {
+    int i;
+    i = 0;
+    while (i < 300) {
+        if (shared_ptr == 0) {
+            shared_ptr = id;
+            lock(lk);
+            hits = hits + 1;
+            unlock(lk);
+        }
+        shared_ptr = 0;
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(racer, 1);
+    racer(2);
+    while (done < 2) {
+        yield();
+    }
+    print(hits);
+}
+`
+
+func TestFigure1ViolationDetected(t *testing.T) {
+	o := defaultRunOpts()
+	o.mcfg.MaxTicks = 30_000_000
+	_, res := run(t, figure1Src, o)
+	if res.Reason != "completed" {
+		t.Fatalf("reason = %q, stats = %+v", res.Reason, *res.Stats)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("no violations detected on the Figure 1 race (traps=%d, suspensions=%d)",
+			res.Stats.Traps, res.Stats.Suspensions)
+	}
+	sawSharedPtr := false
+	for _, v := range res.Violations {
+		if v.Var == "shared_ptr" {
+			sawSharedPtr = true
+			if v.LocalThread == v.RemoteThread {
+				t.Errorf("violation with identical local/remote thread: %v", v)
+			}
+		}
+	}
+	if !sawSharedPtr {
+		t.Errorf("no violation attributed to shared_ptr: %v", res.Violations[0])
+	}
+}
+
+// TestPreventionReordersRemoteWrite verifies the undo engine end to end:
+// the local thread reads a shared variable twice inside an atomic region; a
+// writer thread's interleaving stores are rolled back and re-executed after
+// the region, so the two reads always agree unless a timeout released the
+// writer early.
+func TestPreventionReordersRemoteWrite(t *testing.T) {
+	src := `
+int s;
+int torn;
+int stop;
+void poke(int v) {
+    s = v;
+}
+void writer(int x) {
+    int i;
+    i = 1;
+    while (stop == 0) {
+        poke(i);
+        i = i + 1;
+    }
+}
+void reader(int n) {
+    int i;
+    int a;
+    int b;
+    i = 0;
+    while (i < n) {
+        a = s;
+        b = s;
+        if (a != b) {
+            torn = torn + 1;
+        }
+        i = i + 1;
+    }
+    stop = 1;
+    print(torn);
+}
+void main() {
+    spawn(writer, 0);
+    reader(500);
+}`
+	o := defaultRunOpts()
+	o.mcfg.MaxTicks = 60_000_000
+	_, res := run(t, src, o)
+	if res.Reason != "completed" {
+		t.Fatalf("reason = %q stats=%+v", res.Reason, *res.Stats)
+	}
+	torn := res.Output[0]
+	if res.Stats.Timeouts == 0 && res.Stats.BeginRetryGiveUps == 0 &&
+		res.Stats.MissedARs == 0 && res.Stats.Unreorderable == 0 && torn != 0 {
+		t.Errorf("torn = %d, want 0: prevention must reorder every interleaving write", torn)
+	}
+	if torn > 20 {
+		t.Errorf("torn = %d: too many violations slipped through", torn)
+	}
+	if res.Stats.Traps == 0 && res.Stats.Suspensions == 0 {
+		t.Error("no traps or suspensions; the writer never conflicted?")
+	}
+}
+
+// TestVanillaTornReads sanity-checks the race is real without Kivati.
+func TestVanillaTornReads(t *testing.T) {
+	src := `
+int s;
+int torn;
+int stop;
+void poke(int v) {
+    s = v;
+}
+void writer(int x) {
+    int i;
+    i = 1;
+    while (stop == 0) {
+        poke(i);
+        i = i + 1;
+    }
+}
+void reader(int n) {
+    int i;
+    int a;
+    int b;
+    i = 0;
+    while (i < n) {
+        a = s;
+        b = s;
+        if (a != b) {
+            torn = torn + 1;
+        }
+        i = i + 1;
+    }
+    stop = 1;
+    print(torn);
+}
+void main() {
+    spawn(writer, 0);
+    reader(500);
+}`
+	torn := int64(0)
+	for seed := int64(1); seed <= 4; seed++ {
+		o := defaultRunOpts()
+		o.compile = compile.Options{Annotate: false}
+		o.mcfg.Seed = seed
+		o.mcfg.MaxTicks = 20_000_000
+		_, res := run(t, src, o)
+		if res.Reason != "completed" {
+			t.Fatalf("seed %d: reason %q", seed, res.Reason)
+		}
+		torn += res.Output[0]
+	}
+	if torn == 0 {
+		t.Skip("vanilla torn reads did not manifest under 4 seeds")
+	}
+}
+
+// TestFigure5RequiredViolationTimeout reproduces the paper's Figure 5: the
+// local thread's AR contains a wait loop that only the (suspended) remote
+// thread can satisfy. The 10 ms timeout must release the remote thread; the
+// program completes, and the violation is recorded as not prevented.
+func TestFigure5RequiredViolationTimeout(t *testing.T) {
+	src := `
+int shared;
+int flag;
+void local(int x) {
+    int tmp;
+    shared = 0;
+    flag = 1;
+    while (flag == 1) {
+        yield();
+    }
+    tmp = shared;
+    print(tmp);
+}
+void remote(int v) {
+    while (flag != 1) {
+        yield();
+    }
+    shared = v;
+    flag = 0;
+}
+void main() {
+    spawn(remote, 42);
+    local(0);
+}`
+	o := defaultRunOpts()
+	o.mcfg.MaxTicks = 10_000_000
+	_, res := run(t, src, o)
+	if res.Reason != "completed" {
+		t.Fatalf("required-violation program did not complete: %q (timeout machinery broken?)", res.Reason)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Errorf("local read %v, want [42]: the remote write must eventually land", res.Output)
+	}
+	if res.Stats.Timeouts == 0 {
+		t.Error("no suspension timeouts fired; the remote thread should have been released by timeout")
+	}
+	// The W-W-R interleaving on shared is non-serializable: it must be
+	// recorded, flagged as not prevented.
+	sawUnprevented := false
+	for _, v := range res.Violations {
+		if v.Var == "shared" && !v.Prevented {
+			sawUnprevented = true
+		}
+	}
+	if !sawUnprevented {
+		t.Logf("violations: %v", res.Violations)
+		t.Error("expected an unprevented violation record on `shared`")
+	}
+}
+
+// TestWhitelistSuppressesMonitoring: whitelisted ARs never enter the kernel
+// and never produce violations.
+func TestWhitelistSuppressesMonitoring(t *testing.T) {
+	o := defaultRunOpts()
+	o.kcfg.Opt = kernel.OptSyncVars
+	// Whitelist every AR in the program.
+	bin := buildSrc(t, figure1Src, o.compile)
+	wl := whitelist.New()
+	for _, ar := range bin.Annotated.ARs {
+		wl.Add(ar.ID)
+	}
+	o.wl = wl
+	o.mcfg.MaxTicks = 30_000_000
+	_, res := run(t, figure1Src, o)
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q", res.Reason)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("whitelisted run produced %d violations", len(res.Violations))
+	}
+	if res.Stats.WhitelistSkips == 0 {
+		t.Error("no whitelist skips recorded")
+	}
+	if res.Stats.BeginKernel != 0 {
+		t.Errorf("BeginKernel = %d, want 0 with full whitelist", res.Stats.BeginKernel)
+	}
+}
+
+// TestNullSyscallDetectsNothing: the ablation mode crosses into the kernel
+// but performs no monitoring.
+func TestNullSyscallDetectsNothing(t *testing.T) {
+	o := defaultRunOpts()
+	o.kcfg.Opt = kernel.OptNullSyscall
+	o.mcfg.MaxTicks = 30_000_000
+	_, res := run(t, figure1Src, o)
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q", res.Reason)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("null-syscall mode detected violations: %d", len(res.Violations))
+	}
+	if res.Stats.BeginKernel == 0 {
+		t.Error("null syscalls should still cross into the kernel")
+	}
+	if res.Stats.Traps != 0 {
+		t.Errorf("null-syscall mode armed watchpoints: %d traps", res.Stats.Traps)
+	}
+}
+
+// TestOptimizedReducesKernelEntries compares Base against Optimized on a
+// realistic lock-disciplined workload (the Table 3/4 effect): the user-space
+// library absorbs most annotation crossings, so both kernel entries and
+// runtime drop.
+func TestOptimizedReducesKernelEntries(t *testing.T) {
+	src := `
+int shared;
+int acc;
+int lk;
+int done;
+void compute(int seedv) {
+    int x;
+    int j;
+    x = seedv;
+    j = 0;
+    while (j < 20) {
+        x = x * 31 + 7;
+        j = j + 1;
+    }
+    lock(lk);
+    acc = acc + x;
+    unlock(lk);
+}
+void worker(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        compute(i);
+        lock(lk);
+        shared = shared + 1;
+        unlock(lk);
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(worker, 60);
+    worker(60);
+    while (done < 2) {
+        yield();
+    }
+    print(shared);
+}`
+	runWith := func(opt kernel.OptLevel, shadow bool) *Result {
+		o := defaultRunOpts()
+		o.kcfg.Opt = opt
+		o.compile = compile.Options{Annotate: true, ShadowWrites: shadow}
+		o.mcfg.MaxTicks = 120_000_000
+		_, res := run(t, src, o)
+		if res.Reason != "completed" {
+			t.Fatalf("opt %v: reason %q stats %+v", opt, res.Reason, *res.Stats)
+		}
+		if res.Output[0] != 120 {
+			t.Fatalf("opt %v: shared = %d, want 120", opt, res.Output[0])
+		}
+		return res
+	}
+	base := runWith(kernel.OptBase, false)
+	optz := runWith(kernel.OptOptimized, true)
+	if optz.Stats.KernelEntries() >= base.Stats.KernelEntries() {
+		t.Errorf("optimized kernel entries (%d) not below base (%d)",
+			optz.Stats.KernelEntries(), base.Stats.KernelEntries())
+	}
+	if optz.Stats.UserHandled == 0 {
+		t.Error("optimized mode absorbed nothing in user space")
+	}
+	if optz.Ticks >= base.Ticks {
+		t.Errorf("optimized runtime (%d ticks) not below base (%d)", optz.Ticks, base.Ticks)
+	}
+}
+
+// TestBugFindingPausesAmplify: bug-finding mode stretches ARs; on a racy
+// workload it should find the violation at least as often as prevention
+// mode under the same tick budget.
+func TestBugFindingPauses(t *testing.T) {
+	o := defaultRunOpts()
+	o.kcfg.Mode = kernel.BugFinding
+	o.kcfg.PauseTicks = 20_000
+	o.kcfg.PauseEvery = 10
+	o.mcfg.MaxTicks = 60_000_000
+	_, res := run(t, figure1Src, o)
+	if res.Stats.Pauses == 0 {
+		t.Error("bug-finding mode never paused")
+	}
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q", res.Reason)
+	}
+}
+
+// TestMissedARsUnderExhaustion: with only 1 watchpoint, concurrent ARs on
+// distinct variables must overflow and be logged as missed.
+func TestMissedARsUnderExhaustion(t *testing.T) {
+	src := `
+int a;
+int b;
+int c;
+int d;
+int e;
+void main() {
+    int t;
+    t = a;
+    t = t + b;
+    t = t + c;
+    t = t + d;
+    t = t + e;
+    a = t;
+    b = t;
+    c = t;
+    d = t;
+    e = t;
+    print(t);
+}`
+	o := defaultRunOpts()
+	o.kcfg.NumWatchpoints = 1
+	_, res := run(t, src, o)
+	if res.Stats.MissedARs == 0 {
+		t.Errorf("no missed ARs with a single watchpoint; monitored=%d", res.Stats.MonitoredARs)
+	}
+	many := defaultRunOpts()
+	many.kcfg.NumWatchpoints = 12
+	_, res12 := run(t, src, many)
+	if res12.Stats.MissedARs >= res.Stats.MissedARs {
+		t.Errorf("12 watchpoints missed %d ARs vs %d with 1", res12.Stats.MissedARs, res.Stats.MissedARs)
+	}
+}
+
+// TestStopOnViolation: the violation callback can stop the run (used by the
+// Table 6 time-to-detection harness).
+func TestStopOnViolation(t *testing.T) {
+	o := defaultRunOpts()
+	bin := buildSrc(t, figure1Src, o.compile)
+	k := kernel.New(o.kcfg, nil, nil, nil)
+	var hit uint64
+	k.Log.OnViolation = func(v trace.Violation) bool {
+		hit = v.Tick
+		return true
+	}
+	m, err := New(bin, k, Config{Cores: 2, Seed: 3, MaxTicks: 60_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Reason != "stopped" {
+		t.Skipf("no violation manifested under this seed (reason %q)", res.Reason)
+	}
+	if hit == 0 || len(res.Violations) == 0 {
+		t.Error("stop requested but no violation recorded")
+	}
+}
+
+// TestEpochPropagationCost: arming a watchpoint blocks the arming thread
+// until all cores adopt; single-core runs should adopt instantly.
+func TestEpochWaitsCounted(t *testing.T) {
+	src := `
+int s;
+void main() {
+    int t;
+    t = s;
+    s = t + 1;
+    print(s);
+}`
+	o := defaultRunOpts()
+	_, res := run(t, src, o)
+	if res.Stats.EpochWaits == 0 {
+		t.Error("no epoch waits recorded despite watchpoint arming")
+	}
+	if res.Output[0] != 1 {
+		t.Errorf("output %v", res.Output)
+	}
+}
+
+// TestLocalWriteCaptureWithoutOpt3: in Base mode the local thread's first
+// write traps so the kernel can record the rollback value (§3.3).
+func TestLocalWriteCaptureTraps(t *testing.T) {
+	src := `
+int s;
+void main() {
+    int t;
+    s = 1;
+    t = s;
+    print(t);
+}`
+	o := defaultRunOpts() // Base: no local-disable
+	_, res := run(t, src, o)
+	if res.Stats.Traps == 0 {
+		t.Error("local write inside a (W,R) AR should trap without optimization 3")
+	}
+	if res.Output[0] != 1 {
+		t.Errorf("output %v", res.Output)
+	}
+}
+
+// TestOpt3SuppressesLocalTraps: with all optimizations the local thread's
+// accesses never trap.
+func TestOpt3SuppressesLocalTraps(t *testing.T) {
+	src := `
+int s;
+void main() {
+    int t;
+    s = 1;
+    t = s;
+    print(t);
+}`
+	o := defaultRunOpts()
+	o.kcfg.Opt = kernel.OptOptimized
+	o.compile = compile.Options{Annotate: true, ShadowWrites: true}
+	_, res := run(t, src, o)
+	if res.Stats.Traps != 0 {
+		t.Errorf("optimization 3 active but %d traps occurred (single thread!)", res.Stats.Traps)
+	}
+	if res.Output[0] != 1 {
+		t.Errorf("output %v", res.Output)
+	}
+}

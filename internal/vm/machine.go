@@ -1,0 +1,200 @@
+package vm
+
+import (
+	"container/heap"
+
+	"kivati/internal/isa"
+	"kivati/internal/kernel"
+)
+
+// This file implements kernel.Machine: the hardware/OS surface the Kivati
+// kernel component drives.
+
+// Now returns the virtual clock.
+func (m *Machine) Now() uint64 { return m.clock }
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Suspend blocks a thread. If it is currently running, its core is
+// released.
+func (m *Machine) Suspend(tid int, kind kernel.BlockKind) {
+	t := m.threads[tid]
+	if t.State == stDone {
+		return
+	}
+	if t.State == stRunnable {
+		// Remove from the run queue.
+		for i, q := range m.runq {
+			if q == t {
+				m.runq = append(m.runq[:i], m.runq[i+1:]...)
+				break
+			}
+		}
+	}
+	if t.OnCore >= 0 {
+		m.cores[t.OnCore].Cur = nil
+		t.OnCore = -1
+	}
+	t.State = stBlocked
+	t.Block = kind
+	m.tracef("suspend T%d kind=%d pc=%#x", tid, kind, t.PC)
+	if kind == kernel.BlockEpoch || kind == kernel.BlockPause {
+		m.epochWaiters = true
+	}
+}
+
+// Resume makes a blocked thread runnable.
+func (m *Machine) Resume(tid int) {
+	t := m.threads[tid]
+	if t.State != stBlocked {
+		return
+	}
+	m.tracef("resume T%d pc=%#x", tid, t.PC)
+	t.State = stRunnable
+	t.Block = kernel.BlockNone
+	t.WakeAt = 0
+	t.EpochTarget = 0
+	m.runq = append(m.runq, t)
+}
+
+// SetWakeAt arms a time-based wake condition for BlockPause/BlockSleep.
+func (m *Machine) SetWakeAt(tid int, tick uint64) {
+	t := m.threads[tid]
+	t.WakeAt = tick
+	m.After(tick-m.clock, func() {
+		if t.State == stBlocked && (t.Block == kernel.BlockPause || t.Block == kernel.BlockSleep) {
+			t.WakeAt = 0
+			m.tryWake(t)
+		}
+	})
+}
+
+// SetEpochTarget arms an epoch-based wake condition for BlockEpoch.
+func (m *Machine) SetEpochTarget(tid int, epoch uint64) {
+	m.threads[tid].EpochTarget = epoch
+	m.epochWaiters = true
+}
+
+// tryWake wakes an epoch/pause-blocked thread if all its conditions hold.
+// Just before it resumes — the moment it enters its atomic region — the
+// kernel re-records the rollback values for its ARs, closing the window in
+// which a not-yet-propagated core stored to the variable untrapped.
+func (m *Machine) tryWake(t *Thread) {
+	if t.State != stBlocked {
+		return
+	}
+	if t.WakeAt > m.clock {
+		return
+	}
+	if t.EpochTarget > 0 && m.minCoreEpoch() < t.EpochTarget {
+		return
+	}
+	if t.Block == kernel.BlockEpoch || t.Block == kernel.BlockPause {
+		m.K.RecaptureSaved(t.ID)
+	}
+	m.Resume(t.ID)
+}
+
+func (m *Machine) minCoreEpoch() uint64 {
+	min := ^uint64(0)
+	for _, c := range m.cores {
+		if c.WP.Epoch < min {
+			min = c.WP.Epoch
+		}
+	}
+	return min
+}
+
+// checkEpochWaiters wakes every epoch/pause-blocked thread whose conditions
+// now hold.
+func (m *Machine) checkEpochWaiters() {
+	any := false
+	for _, t := range m.threads {
+		if t.State == stBlocked && (t.Block == kernel.BlockEpoch || t.Block == kernel.BlockPause) {
+			m.tryWake(t)
+			if t.State == stBlocked {
+				any = true
+			}
+		}
+	}
+	m.epochWaiters = any
+}
+
+// ThreadDepth returns the thread's call depth.
+func (m *Machine) ThreadDepth(tid int) int { return m.threads[tid].Depth }
+
+// PC returns the thread's program counter.
+func (m *Machine) PC(tid int) uint32 { return m.threads[tid].PC }
+
+// SetPC sets the thread's program counter (used to rewind over an undone
+// access or to retry a blocked begin_atomic).
+func (m *Machine) SetPC(tid int, pc uint32) { m.threads[tid].PC = pc }
+
+// Reg reads a register.
+func (m *Machine) Reg(tid int, r int) int64 { return m.threads[tid].Regs[r] }
+
+// SetReg writes a register.
+func (m *Machine) SetReg(tid int, r int, v int64) { m.threads[tid].Regs[r] = v }
+
+// LastInstrPC returns the PC of the thread's most recently executed
+// instruction.
+func (m *Machine) LastInstrPC(tid int) uint32 { return m.threads[tid].LastInstr }
+
+// Load reads memory (kernel access: no watchpoint check).
+func (m *Machine) Load(addr uint32, sz uint8) uint64 { return m.loadRaw(addr, sz) }
+
+// Store writes memory (kernel access: no watchpoint check).
+func (m *Machine) Store(addr uint32, sz uint8, v uint64) { m.storeRaw(addr, sz, v) }
+
+// Boundary returns the binary's instruction-boundary table.
+func (m *Machine) Boundary() *isa.BoundaryTable { return m.Bin.Boundary }
+
+// DecodeAt returns the decoded instruction at pc.
+func (m *Machine) DecodeAt(pc uint32) (isa.Instr, bool) {
+	if int(pc) >= len(m.decoded) || m.decoded[pc].Len == 0 {
+		return isa.Instr{}, false
+	}
+	return m.decoded[pc], true
+}
+
+// After schedules fn at Now()+ticks.
+func (m *Machine) After(ticks uint64, fn func()) {
+	m.eventSeq++
+	heap.Push(&m.events, event{tick: m.clock + ticks, seq: m.eventSeq, fn: fn})
+}
+
+// EpochChanged: the canonical watchpoint state changed. The executing core
+// is in the kernel and adopts immediately; the rest adopt on their next
+// kernel entry or when idle.
+func (m *Machine) EpochChanged() {
+	if m.curCore != nil {
+		m.curCore.WP.CopyFrom(m.K.Canon)
+	}
+	if m.epochWaiters {
+		m.checkEpochWaiters()
+	}
+}
+
+// raw little-endian memory access; out-of-bounds reads return 0 and writes
+// are dropped (the executing path bounds-checks and faults the thread
+// first).
+func (m *Machine) loadRaw(addr uint32, sz uint8) uint64 {
+	if int(addr)+int(sz) > len(m.Mem) {
+		return 0
+	}
+	var v uint64
+	for i := uint8(0); i < sz; i++ {
+		v |= uint64(m.Mem[addr+uint32(i)]) << (8 * i)
+	}
+	return v
+}
+
+func (m *Machine) storeRaw(addr uint32, sz uint8, v uint64) {
+	if int(addr)+int(sz) > len(m.Mem) {
+		return
+	}
+	for i := uint8(0); i < sz; i++ {
+		m.Mem[addr+uint32(i)] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,116 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPreventionPreservesIncrements is a metamorphic property over seeds:
+// two threads increment a shared counter through unlocked read-modify-write
+// sequences that are rare enough not to brew mutual-suspension timeouts.
+// Whenever a run finishes with zero timeouts, zero missed ARs, zero
+// begin-retry give-ups and zero unreorderable accesses, Kivati's prevention
+// must have reordered every interleaving access — so not a single increment
+// may be lost. (Runs where the escape hatches fired are skipped: the paper
+// is explicit that timeout-released violations are recorded but not
+// prevented.)
+func TestPreventionPreservesIncrements(t *testing.T) {
+	const perThread = 120
+	src := fmt.Sprintf(`
+int counter;
+int done;
+int lk;
+int spin(int v) {
+    int x;
+    int j;
+    x = v;
+    j = 0;
+    while (j < 90) {
+        x = x * 31 + j;
+        j = j + 1;
+    }
+    if (x < 0) {
+        x = 0 - x;
+    }
+    return x;
+}
+void worker(int id) {
+    int i;
+    int w;
+    int t;
+    i = 0;
+    while (i < %d) {
+        w = spin(id * 131 + i);
+        if (w %% 7 == 0) {
+            t = counter;
+            counter = t + 1;
+        }
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(worker, 1);
+    worker(2);
+    while (done < 2) {
+        sleep(300);
+    }
+    print(counter);
+}`, perThread)
+
+	// Reference: how many increments each seed performs (gates depend only
+	// on id and i, so the total is seed-independent; compute once from a
+	// vanilla single run).
+	o := defaultRunOpts()
+	o.mcfg.MaxTicks = 200_000_000
+	o.compile.Annotate = false
+	_, vres := run(t, src, o)
+	expected := vres.Output[0] // vanilla may lose updates; recompute below
+
+	// Count the gate hits exactly.
+	hits := int64(0)
+	for _, id := range []int64{1, 2} {
+		for i := int64(0); i < perThread; i++ {
+			x := id*131 + i
+			for j := int64(0); j < 90; j++ {
+				x = x*31 + j
+			}
+			if x < 0 {
+				x = -x
+			}
+			if x%7 == 0 {
+				hits++
+			}
+		}
+	}
+	if expected > hits {
+		t.Fatalf("vanilla counted %d > possible %d", expected, hits)
+	}
+
+	clean, exact := 0, 0
+	for seed := int64(1); seed <= 12; seed++ {
+		oo := defaultRunOpts()
+		oo.mcfg.Seed = seed
+		oo.mcfg.MaxTicks = 400_000_000
+		_, res := run(t, src, oo)
+		if res.Reason != "completed" {
+			t.Fatalf("seed %d: %s", seed, res.Reason)
+		}
+		s := res.Stats
+		if s.Timeouts == 0 && s.MissedARs == 0 && s.BeginRetryGiveUps == 0 && s.Unreorderable == 0 {
+			clean++
+			if res.Output[0] == hits {
+				exact++
+			} else {
+				t.Errorf("seed %d: clean run lost increments: %d != %d",
+					seed, res.Output[0], hits)
+			}
+		}
+	}
+	if clean == 0 {
+		t.Skip("no timeout-free runs among the seeds; property not exercised")
+	}
+	t.Logf("%d/%d seeds ran clean, all %d exact", clean, 12, exact)
+}

@@ -1,0 +1,273 @@
+package vm
+
+import (
+	"testing"
+
+	"kivati/internal/compile"
+	"kivati/internal/hw"
+	"kivati/internal/isa"
+	"kivati/internal/kernel"
+)
+
+// Hand-assembled binaries exercise the undo-engine paths the MiniC compiler
+// never emits: the indirect-call (CALLM) special case, the PUSHM
+// read-into-memory leak guard, and the RET boundary-table mismatch.
+
+const (
+	varX  = uint32(0x1000)
+	fptr  = uint32(0x1008)
+	outG  = uint32(0x1010)
+	varY  = uint32(0x1018)
+	spinN = 1500
+)
+
+// asmLocal emits a thread that arms AR id 1 on addr (watch/first as given),
+// writes first, spins to keep the AR open, writes again, and ends.
+func asmLocal(e *isa.Encoder, addr uint32, watch, first hw.AccessType) {
+	e.Label("local")
+	e.MovImm(0, 1)
+	e.MovImm(1, int64(addr))
+	e.MovImm(2, 8)
+	e.MovImm(3, int64(watch))
+	e.MovImm(4, int64(first))
+	e.Sys(isa.SysBeginAtomic)
+	e.MovImm(5, 77)
+	e.Store(addr, 5, 8) // first local access (write)
+	e.MovImm(6, spinN)
+	e.Label("local_spin")
+	e.AddImm(6, 6, -1)
+	e.Jnz(6, "local_spin")
+	e.MovImm(5, 88)
+	e.Store(addr, 5, 8) // second local access (write)
+	e.MovImm(0, 1)
+	e.MovImm(1, int64(hw.Write))
+	e.Sys(isa.SysEndAtomic)
+	e.Sys(isa.SysExit)
+}
+
+func buildHandBinary(t *testing.T, build func(e *isa.Encoder)) *compile.Binary {
+	t.Helper()
+	e := isa.NewEncoder()
+	exit := e.PC()
+	e.Sys(isa.SysExit)
+	build(e)
+	code, err := e.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	funcs := map[string]uint32{}
+	var entries []uint32
+	for _, name := range []string{"local", "remote", "callee"} {
+		if pc, ok := e.LabelPC(name); ok {
+			funcs[name] = pc
+			entries = append(entries, pc)
+		}
+	}
+	bt, err := isa.Preprocess(code, entries)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	return &compile.Binary{
+		Code:        code,
+		Funcs:       funcs,
+		FuncEntries: entries,
+		ExitStub:    exit,
+		Globals:     map[string]uint32{"X": varX, "FPTR": fptr, "OUT": outG},
+		InitMem:     map[uint32]int64{},
+		Boundary:    bt,
+		SyncVars:    map[string]bool{},
+	}
+}
+
+func runHand(t *testing.T, bin *compile.Binary, seed int64) (*Machine, *Result) {
+	t.Helper()
+	k := kernel.New(kernel.Config{
+		Mode:           kernel.Prevention,
+		Opt:            kernel.OptBase,
+		NumWatchpoints: 4,
+		TimeoutTicks:   50_000,
+	}, nil, nil, nil)
+	m, err := New(bin, k, Config{Cores: 2, Seed: seed, MaxTicks: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("local", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("remote", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	for _, f := range res.Faults {
+		t.Errorf("fault: %s", f)
+	}
+	return m, res
+}
+
+// TestCALLMSpecialCase: an indirect call whose function-pointer read traps.
+// The trap PC is the callee's entry; the kernel must recover the call site
+// from the return address on the stack (§3.3), undo the push, and suspend.
+func TestCALLMSpecialCase(t *testing.T) {
+	bin := buildHandBinary(t, func(e *isa.Encoder) {
+		asmLocal(e, fptr, hw.ReadWrite, hw.Write)
+
+		e.Label("remote")
+		e.MovImm(1, spinN)
+		e.Label("remote_spin")
+		e.AddImm(1, 1, -1)
+		e.Jnz(1, "remote_spin")
+		e.CallMem(fptr) // fptr read can trap the local AR's watchpoint
+		e.MovImm(2, 1)
+		e.Store(outG, 2, 8) // marker: returned from the call
+		e.Sys(isa.SysExit)
+
+		e.Label("callee")
+		e.MovImm(3, 5)
+		e.Ret()
+	})
+	// FPTR initially points at callee; the local thread overwrites it with
+	// 77 then 88 — make those valid targets too... simpler: point FPTR at
+	// callee and make the local writes store the callee PC (rewritten
+	// below), so re-execution lands somewhere valid.
+	calleePC := int64(bin.Funcs["callee"])
+	bin.InitMem[fptr] = calleePC
+	// Patch the two MOVL r5/r6 immediates (77/88) to the callee PC so the
+	// re-executed CALLM reads a valid target.
+	patchImm(t, bin.Code, 77, calleePC)
+	patchImm(t, bin.Code, 88, calleePC)
+
+	m, res := runHand(t, bin, 7)
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q stats %+v", res.Reason, *res.Stats)
+	}
+	if got := int64(m.loadRaw(outG, 8)); got != 1 {
+		t.Errorf("remote never returned from the indirect call: OUT=%d", got)
+	}
+	if res.Stats.Traps == 0 {
+		t.Fatal("no traps: the CALLM read never hit the watchpoint (timing?)")
+	}
+	if res.Stats.Suspensions == 0 {
+		t.Error("remote CALLM was not suspended")
+	}
+	if res.Stats.BoundaryMismatch != 0 {
+		t.Errorf("BoundaryMismatch = %d: call-site recovery failed", res.Stats.BoundaryMismatch)
+	}
+	// first=W, remote=R, second=W is the W-R-W non-serializable case.
+	found := false
+	for _, v := range res.Violations {
+		if v.RemoteType == hw.Read && v.First == hw.Write && v.Second == hw.Write {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no W-R-W violation recorded; got %v", res.Violations)
+	}
+}
+
+// patchImm rewrites the first MOVL immediate equal to old in the code.
+func patchImm(t *testing.T, code []byte, old, new int64) {
+	t.Helper()
+	for pc := uint32(0); int(pc) < len(code); {
+		in, err := isa.Decode(code, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Op == isa.OpMOVL && in.Imm == old {
+			v := uint32(new)
+			code[pc+2] = byte(v)
+			code[pc+3] = byte(v >> 8)
+			code[pc+4] = byte(v >> 16)
+			code[pc+5] = byte(v >> 24)
+			return
+		}
+		pc += uint32(in.Len)
+	}
+	t.Fatalf("immediate %d not found", old)
+}
+
+// TestPUSHMLeakGuard: a remote read whose destination is memory (the stack).
+// The kernel cannot leave the leaked value readable, so it arms a spare
+// watchpoint as a guard (§3.3), releases it when the remote re-executes.
+func TestPUSHMLeakGuard(t *testing.T) {
+	bin := buildHandBinary(t, func(e *isa.Encoder) {
+		asmLocal(e, varX, hw.ReadWrite, hw.Write)
+
+		e.Label("remote")
+		e.MovImm(1, spinN)
+		e.Label("remote_spin")
+		e.AddImm(1, 1, -1)
+		e.Jnz(1, "remote_spin")
+		e.PushMem(varX, 8) // read X into the stack: the leak path
+		e.Pop(2)
+		e.Store(outG, 2, 8)
+		e.Sys(isa.SysExit)
+	})
+	m, res := runHand(t, bin, 7)
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q stats %+v", res.Reason, *res.Stats)
+	}
+	if res.Stats.Traps == 0 {
+		t.Fatal("no traps: PUSHM read never hit the watchpoint")
+	}
+	if res.Stats.GuardsArmed == 0 {
+		t.Error("no leak guard armed for the PUSHM destination")
+	}
+	// After the local AR completes the remote re-executes: OUT must hold
+	// the final value of X (the local thread's second write).
+	if got := int64(m.loadRaw(outG, 8)); got != 88 {
+		t.Errorf("OUT = %d, want 88 (re-executed read must see the post-AR value)", got)
+	}
+	// All watchpoints must be free at the end (guards released).
+	for i, wp := range m.K.Canon.WPs {
+		if wp.Armed && !m.K.Meta[i].Stale {
+			t.Errorf("watchpoint %d still armed at exit: %+v", i, wp)
+		}
+	}
+}
+
+// TestRETBoundaryMismatch: a RET whose return-address read traps lands on a
+// PC whose boundary-table predecessor is the CALL instruction, not the RET.
+// The kernel detects the mismatch and refuses the undo (logging the access
+// as unreorderable) rather than corrupting state.
+func TestRETBoundaryMismatch(t *testing.T) {
+	// The remote thread CALLs callee; the local thread watches the stack
+	// slot where remote's return address lives. Remote thread index is 1,
+	// its SP starts at StackTop-8 (exit stub), the CALL pushes at -16.
+	retSlot := StackTopFor(1) - 16
+	bin := buildHandBinary(t, func(e *isa.Encoder) {
+		asmLocal(e, retSlot, hw.ReadWrite, hw.Write)
+
+		e.Label("remote")
+		e.MovImm(1, spinN/2)
+		e.Label("remote_spin")
+		e.AddImm(1, 1, -1)
+		e.Jnz(1, "remote_spin")
+		e.Call("callee")
+		e.MovImm(2, 1)
+		e.Store(outG, 2, 8)
+		e.Sys(isa.SysExit)
+
+		e.Label("callee")
+		e.MovImm(3, spinN)
+		e.Label("callee_spin")
+		e.AddImm(3, 3, -1)
+		e.Jnz(3, "callee_spin")
+		e.Ret() // reads the watched return-address slot
+	})
+	m, res := runHand(t, bin, 7)
+	if res.Reason != "completed" {
+		t.Fatalf("reason %q stats %+v", res.Reason, *res.Stats)
+	}
+	if got := int64(m.loadRaw(outG, 8)); got != 1 {
+		t.Errorf("remote never completed: OUT=%d", got)
+	}
+	// Depending on timing either the CALL's push (write) traps — undone
+	// via the function-entry special case — or the RET's read traps and
+	// must be refused via the boundary mismatch. Force at least one trap.
+	if res.Stats.Traps == 0 {
+		t.Fatal("no traps at all; timing broke the scenario")
+	}
+	if res.Stats.BoundaryMismatch == 0 && res.Stats.Suspensions == 0 {
+		t.Error("neither a refused undo nor a suspension occurred")
+	}
+}

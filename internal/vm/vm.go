@@ -1,0 +1,479 @@
+// Package vm is the multi-core virtual machine Kivati-protected programs
+// run on. It models the hardware and OS surface the paper depends on: one
+// watchpoint register file per core with x86 trap-after-access semantics,
+// lazy cross-core propagation of watchpoint state (cores adopt the
+// canonical state on kernel entries — syscalls, traps and timer
+// interrupts), a virtual clock that charges a domain-crossing cost for
+// every kernel entry (the dominant overhead the paper measures), a
+// round-robin preemptive scheduler with seeded interleaving randomization,
+// and the system calls the compiler emits — including begin_atomic /
+// end_atomic / clear_ar, which are routed through the user-space library's
+// decision procedure before paying for a crossing.
+package vm
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"kivati/internal/compile"
+	"kivati/internal/hw"
+	"kivati/internal/isa"
+	"kivati/internal/kernel"
+	"kivati/internal/trace"
+)
+
+// Costs is the virtual-time cost model, in ticks.
+type Costs struct {
+	Instr        uint64 // one instruction
+	SyscallEnter uint64 // kernel domain crossing
+	UserLibCheck uint64 // annotation handled in user space
+	Trap         uint64 // watchpoint trap delivery + handling
+	TimerInt     uint64 // timer interrupt
+	Quantum      uint64 // scheduling quantum (timer period)
+	// AccessCheck, when nonzero, charges this many ticks per committed
+	// memory access. It models the per-access software instrumentation of
+	// testing systems like AVIO/CTrigger (the related-work baseline the
+	// paper contrasts with: 15x-65x slowdowns without hardware support).
+	AccessCheck uint64
+}
+
+// DefaultCosts returns the calibrated cost model. The crossing/instruction
+// ratio (~150x) matches the order of magnitude of a syscall on the paper's
+// Core 2 hardware.
+func DefaultCosts() Costs {
+	return Costs{
+		Instr:        1,
+		SyscallEnter: 150,
+		UserLibCheck: 80,
+		Trap:         250,
+		TimerInt:     15,
+		Quantum:      500,
+	}
+}
+
+// RequestConfig drives an open-loop request generator for server workloads
+// (Webstone/TPC-W analogs): requests arrive with exponential interarrival
+// times, worker threads recv() them, and send() completes them, recording
+// the latency.
+type RequestConfig struct {
+	MeanInterarrival uint64 // mean ticks between arrivals
+	Count            int    // total requests to generate
+}
+
+// Config parameterizes a machine.
+type Config struct {
+	Cores    int
+	Seed     int64
+	MaxTicks uint64 // stop after this many ticks (0 = no limit)
+	Costs    Costs
+	Requests *RequestConfig
+	// Debug, if non-nil, receives a line per scheduling/kernel event.
+	Debug io.Writer
+}
+
+type threadState int
+
+const (
+	stRunnable threadState = iota
+	stRunning
+	stBlocked
+	stDone
+)
+
+// Thread is one kernel-scheduled thread.
+type Thread struct {
+	ID          int
+	Regs        [isa.NumRegs]int64
+	PC          uint32
+	State       threadState
+	Block       kernel.BlockKind
+	WakeAt      uint64
+	EpochTarget uint64
+	Depth       int
+	LastInstr   uint32
+	OnCore      int // -1 when not running
+	Fault       string
+}
+
+// Core is one CPU core with its own watchpoint register file.
+type Core struct {
+	ID        int
+	WP        *hw.RegisterFile
+	Cur       *Thread
+	BusyUntil uint64
+	NextTimer uint64
+}
+
+type event struct {
+	tick uint64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].tick != h[j].tick {
+		return h[i].tick < h[j].tick
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Machine is the virtual machine.
+type Machine struct {
+	Bin   *compile.Binary
+	K     *kernel.Kernel
+	Stats *kernel.Stats
+	Mem   []byte
+
+	cfg      Config
+	clock    uint64
+	rng      *rand.Rand
+	threads  []*Thread
+	cores    []*Core
+	runq     []*Thread
+	events   eventHeap
+	eventSeq uint64
+
+	decoded []isa.Instr // indexed by PC; Len==0 means not an instruction start
+
+	curCore *Core // core whose thread is currently executing (for EpochChanged)
+
+	// server workload state
+	reqArrivals map[int]uint64
+	reqQueue    []int
+	reqWaiters  []*Thread
+	reqMade     int
+
+	// results
+	Output    []int64
+	Latencies []uint64
+	Faults    []string
+	stopped   bool
+	reason    string
+
+	epochWaiters bool // any thread blocked on epoch/pause (cheap gate)
+}
+
+// New creates a machine running bin under kernel k. The kernel's Machine is
+// attached automatically.
+func New(bin *compile.Binary, k *kernel.Kernel, cfg Config) (*Machine, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 2
+	}
+	if cfg.Costs.Instr == 0 {
+		// Partial cost structs (e.g. only AccessCheck set for the
+		// software-monitor baseline) inherit the calibrated defaults.
+		ac := cfg.Costs.AccessCheck
+		cfg.Costs = DefaultCosts()
+		cfg.Costs.AccessCheck = ac
+	}
+	if cfg.Costs.Quantum == 0 {
+		cfg.Costs.Quantum = 1000
+	}
+	m := &Machine{
+		Bin:         bin,
+		K:           k,
+		Stats:       k.Stats,
+		Mem:         make([]byte, compile.MemSize),
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		reqArrivals: map[int]uint64{},
+	}
+	for addr, v := range bin.InitMem {
+		m.storeRaw(addr, 8, uint64(v))
+	}
+	// Pre-decode the binary for fast dispatch.
+	m.decoded = make([]isa.Instr, len(bin.Code))
+	for pc := uint32(0); int(pc) < len(bin.Code); {
+		in, err := isa.Decode(bin.Code, pc)
+		if err != nil {
+			return nil, fmt.Errorf("vm: %w", err)
+		}
+		m.decoded[pc] = in
+		pc += uint32(in.Len)
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &Core{ID: i, WP: hw.NewRegisterFile(k.Cfg.NumWatchpoints), NextTimer: cfg.Costs.Quantum}
+		m.cores = append(m.cores, c)
+	}
+	k.SetMachine(m)
+	if bin.Annotated != nil {
+		k.SetARInfo(bin.Annotated.ByID)
+	}
+	if k.Symbolize == nil {
+		k.Symbolize = func(pc uint32) int {
+			if pos, ok := bin.PosAt(pc); ok {
+				return pos.Line
+			}
+			return 0
+		}
+	}
+	if cfg.Requests != nil && cfg.Requests.Count > 0 {
+		m.scheduleArrival()
+	}
+	return m, nil
+}
+
+// Start creates a thread executing the named function with one argument
+// (placed in R8 per the calling convention).
+func (m *Machine) Start(fn string, arg int64) (int, error) {
+	entry, ok := m.Bin.Funcs[fn]
+	if !ok {
+		return -1, fmt.Errorf("vm: no function %q", fn)
+	}
+	return m.startAt(entry, arg)
+}
+
+func (m *Machine) startAt(entry uint32, arg int64) (int, error) {
+	tid := len(m.threads)
+	if tid >= compile.MaxThreads {
+		return -1, fmt.Errorf("vm: thread limit (%d) reached", compile.MaxThreads)
+	}
+	t := &Thread{ID: tid, PC: entry, OnCore: -1}
+	t.Regs[8] = arg
+	sp := StackTopFor(tid)
+	sp -= 8
+	m.storeRaw(sp, 8, uint64(m.Bin.ExitStub))
+	t.Regs[isa.RegSP] = int64(sp)
+	t.Regs[isa.RegFP] = int64(sp)
+	m.threads = append(m.threads, t)
+	m.runq = append(m.runq, t)
+	return tid, nil
+}
+
+// StackTopFor returns the initial stack pointer of a thread.
+func StackTopFor(tid int) uint32 { return compile.StackTop(tid) }
+
+// Thread returns thread tid (for tests and tools).
+func (m *Machine) Thread(tid int) *Thread { return m.threads[tid] }
+
+// NumThreads returns the number of threads ever created.
+func (m *Machine) NumThreads() int { return len(m.threads) }
+
+// Result summarizes a run.
+type Result struct {
+	Stats      *kernel.Stats
+	Violations []trace.Violation
+	Output     []int64
+	Latencies  []uint64
+	Faults     []string
+	Reason     string // "completed", "max-ticks", "stopped", "deadlock"
+	Ticks      uint64
+}
+
+// Run executes until all threads finish, MaxTicks elapses, a violation
+// callback requests a stop, or the machine deadlocks.
+func (m *Machine) Run() *Result {
+	for !m.stopped {
+		// Fire due events.
+		for len(m.events) > 0 && m.events[0].tick <= m.clock {
+			ev := heap.Pop(&m.events).(event)
+			ev.fn()
+		}
+		if m.K.Log.StopRequested() {
+			m.reason = "stopped"
+			break
+		}
+		if m.cfg.MaxTicks > 0 && m.clock >= m.cfg.MaxTicks {
+			m.reason = "max-ticks"
+			break
+		}
+
+		// Idle cores sit in the kernel: they adopt the canonical
+		// watchpoint state immediately.
+		for _, c := range m.cores {
+			if c.Cur == nil && c.BusyUntil <= m.clock && c.WP.Epoch != m.K.Canon.Epoch {
+				c.WP.CopyFrom(m.K.Canon)
+			}
+		}
+		if m.epochWaiters {
+			m.checkEpochWaiters()
+		}
+
+		stepped := false
+		for _, c := range m.cores {
+			if c.BusyUntil > m.clock {
+				continue
+			}
+			// Timer interrupt: kernel entry — adopt watchpoint state,
+			// preempt.
+			if m.clock >= c.NextTimer {
+				c.NextTimer = m.clock + m.cfg.Costs.Quantum
+				if c.Cur != nil {
+					m.Stats.TimerInterrupts++
+					c.WP.CopyFrom(m.K.Canon)
+					m.checkEpochWaiters()
+					m.preempt(c)
+					c.BusyUntil = m.clock + m.cfg.Costs.TimerInt
+					stepped = true
+					continue
+				}
+			}
+			if c.Cur == nil {
+				m.schedule(c)
+			}
+			if c.Cur != nil {
+				m.step(c)
+				stepped = true
+			}
+		}
+
+		if m.allDone() {
+			m.reason = "completed"
+			break
+		}
+
+		// Advance the clock to the next interesting moment.
+		next := ^uint64(0)
+		for _, c := range m.cores {
+			if c.Cur != nil || c.BusyUntil > m.clock {
+				if c.BusyUntil > m.clock && c.BusyUntil < next {
+					next = c.BusyUntil
+				}
+			}
+		}
+		if len(m.runq) > 0 {
+			// A free core can pick this up next iteration.
+			for _, c := range m.cores {
+				if c.Cur == nil && c.BusyUntil <= m.clock {
+					next = m.clock + 1
+					break
+				}
+			}
+		}
+		if len(m.events) > 0 && m.events[0].tick < next {
+			next = m.events[0].tick
+		}
+		if next == ^uint64(0) {
+			if stepped {
+				m.clock++
+				continue
+			}
+			m.reason = "deadlock"
+			break
+		}
+		if next <= m.clock {
+			next = m.clock + 1
+		}
+		m.clock = next
+	}
+	if m.reason == "" {
+		m.reason = "stopped"
+	}
+	m.Stats.Ticks = m.clock
+	return &Result{
+		Stats:      m.Stats,
+		Violations: m.K.Log.Violations,
+		Output:     m.Output,
+		Latencies:  m.Latencies,
+		Faults:     m.Faults,
+		Reason:     m.reason,
+		Ticks:      m.clock,
+	}
+}
+
+func (m *Machine) allDone() bool {
+	for _, t := range m.threads {
+		if t.State != stDone {
+			return false
+		}
+	}
+	return len(m.threads) > 0
+}
+
+// schedule assigns the next runnable thread to core c. With small
+// probability the scheduler picks a random runnable thread instead of the
+// queue head, so different seeds explore different interleavings.
+func (m *Machine) schedule(c *Core) {
+	if len(m.runq) == 0 {
+		return
+	}
+	i := 0
+	if len(m.runq) > 1 && m.rng.Intn(4) == 0 {
+		i = m.rng.Intn(len(m.runq))
+	}
+	t := m.runq[i]
+	m.runq = append(m.runq[:i], m.runq[i+1:]...)
+	t.State = stRunning
+	t.OnCore = c.ID
+	c.Cur = t
+}
+
+func (m *Machine) preempt(c *Core) {
+	t := c.Cur
+	if t == nil {
+		return
+	}
+	t.State = stRunnable
+	t.OnCore = -1
+	c.Cur = nil
+	m.runq = append(m.runq, t)
+}
+
+// tracef emits a debug trace line when tracing is enabled.
+func (m *Machine) tracef(format string, args ...interface{}) {
+	if m.cfg.Debug != nil {
+		fmt.Fprintf(m.cfg.Debug, "[%d] %s\n", m.clock, fmt.Sprintf(format, args...))
+	}
+}
+
+// fault kills a thread with an error.
+func (m *Machine) fault(t *Thread, format string, args ...interface{}) {
+	msg := fmt.Sprintf("thread %d at pc %#x: %s", t.ID, t.LastInstr, fmt.Sprintf(format, args...))
+	t.Fault = msg
+	m.Faults = append(m.Faults, msg)
+	m.exitThread(t)
+}
+
+func (m *Machine) exitThread(t *Thread) {
+	t.State = stDone
+	if t.OnCore >= 0 {
+		m.cores[t.OnCore].Cur = nil
+		t.OnCore = -1
+	}
+	m.K.ThreadExited(t.ID)
+}
+
+func (m *Machine) scheduleArrival() {
+	gap := uint64(m.rng.ExpFloat64() * float64(m.cfg.Requests.MeanInterarrival))
+	if gap == 0 {
+		gap = 1
+	}
+	m.After(gap, m.arrive)
+}
+
+func (m *Machine) arrive() {
+	if m.reqMade >= m.cfg.Requests.Count {
+		return
+	}
+	id := m.reqMade
+	m.reqMade++
+	m.reqArrivals[id] = m.clock
+	if len(m.reqWaiters) > 0 {
+		w := m.reqWaiters[0]
+		m.reqWaiters = m.reqWaiters[1:]
+		w.Regs[0] = int64(id)
+		m.Resume(w.ID)
+	} else {
+		m.reqQueue = append(m.reqQueue, id)
+	}
+	if m.reqMade < m.cfg.Requests.Count {
+		m.scheduleArrival()
+	}
+}
+
+// RequestsServed returns how many requests completed.
+func (m *Machine) RequestsServed() int { return len(m.Latencies) }

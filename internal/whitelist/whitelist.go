@@ -1,0 +1,157 @@
+// Package whitelist implements Kivati's benign-AR whitelist (§3.2, §3.4):
+// a set of AR IDs whose begin_atomic/end_atomic return from user space
+// without entering the kernel. The whitelist is seeded from synchronization
+// variables (optimization 4), grown by training runs (§4.2, Figure 7), and
+// — for long-running processes — periodically re-read from its backing
+// source so developers can ship whitelist updates without restarts.
+package whitelist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Whitelist is a set of benign AR IDs.
+type Whitelist struct {
+	ids map[int]bool
+	// Source, if non-nil, is re-read by Reload (the periodic re-read a
+	// long-running process performs).
+	Source func() (io.Reader, error)
+}
+
+// New returns an empty whitelist.
+func New() *Whitelist { return &Whitelist{ids: map[int]bool{}} }
+
+// FromIDs returns a whitelist containing the given AR IDs.
+func FromIDs(ids ...int) *Whitelist {
+	w := New()
+	for _, id := range ids {
+		w.ids[id] = true
+	}
+	return w
+}
+
+// Contains reports whether AR id is whitelisted.
+func (w *Whitelist) Contains(id int) bool { return w.ids[id] }
+
+// Add inserts an AR ID.
+func (w *Whitelist) Add(id int) { w.ids[id] = true }
+
+// Len returns the number of whitelisted ARs.
+func (w *Whitelist) Len() int { return len(w.ids) }
+
+// IDs returns the sorted AR IDs.
+func (w *Whitelist) IDs() []int {
+	out := make([]int, 0, len(w.ids))
+	for id := range w.ids {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Merge adds every ID of other.
+func (w *Whitelist) Merge(other *Whitelist) {
+	for id := range other.ids {
+		w.ids[id] = true
+	}
+}
+
+// Reload re-reads the whitelist from its source, replacing the current
+// contents. Used to pick up developer-shipped updates during execution.
+// With no source configured, Reload is a no-op.
+func (w *Whitelist) Reload() error {
+	if w.Source == nil {
+		return nil
+	}
+	r, err := w.Source()
+	if err != nil {
+		return err
+	}
+	fresh, err := Read(r)
+	if err != nil {
+		return err
+	}
+	w.ids = fresh.ids
+	return nil
+}
+
+// Read parses the whitelist file format: one AR ID per line, '#' comments
+// and blank lines ignored.
+func Read(r io.Reader) (*Whitelist, error) {
+	w := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		id, err := strconv.Atoi(line)
+		if err != nil || id < 1 {
+			return nil, fmt.Errorf("whitelist: line %d: invalid AR id %q", lineNo, line)
+		}
+		w.ids[id] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write renders the whitelist in file format.
+func (w *Whitelist) Write(out io.Writer) error {
+	if _, err := fmt.Fprintln(out, "# Kivati AR whitelist: one benign AR id per line"); err != nil {
+		return err
+	}
+	for _, id := range w.IDs() {
+		if _, err := fmt.Fprintln(out, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a whitelist from a file and configures it to Reload from the
+// same path.
+func Load(path string) (*Whitelist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("whitelist: %s: %w", path, err)
+	}
+	w.Source = func() (io.Reader, error) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return strings.NewReader(string(b)), nil
+	}
+	return w, nil
+}
+
+// Save writes the whitelist to a file.
+func (w *Whitelist) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,147 @@
+package whitelist
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	w := New()
+	if w.Len() != 0 || w.Contains(1) {
+		t.Error("empty whitelist not empty")
+	}
+	w.Add(3)
+	w.Add(3)
+	w.Add(1)
+	if w.Len() != 2 || !w.Contains(3) || !w.Contains(1) || w.Contains(2) {
+		t.Errorf("whitelist state wrong: %v", w.IDs())
+	}
+	if got := w.IDs(); got[0] != 1 || got[1] != 3 {
+		t.Errorf("IDs not sorted: %v", got)
+	}
+}
+
+func TestFromIDsAndMerge(t *testing.T) {
+	a := FromIDs(1, 2)
+	b := FromIDs(2, 5)
+	a.Merge(b)
+	if a.Len() != 3 || !a.Contains(5) {
+		t.Errorf("merge wrong: %v", a.IDs())
+	}
+}
+
+func TestReadFormat(t *testing.T) {
+	src := `# header comment
+1
+2   # trailing comment
+
+17
+`
+	w, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 17}
+	got := w.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, src := range []string{"abc", "0", "-4", "1.5"} {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q): want error", src)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := func(ids []uint16) bool {
+		w := New()
+		for _, id := range ids {
+			w.Add(int(id) + 1)
+		}
+		var b strings.Builder
+		if err := w.Write(&b); err != nil {
+			return false
+		}
+		w2, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if w2.Len() != w.Len() {
+			return false
+		}
+		for _, id := range w.IDs() {
+			if !w2.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaveLoadReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.txt")
+	w := FromIDs(4, 9)
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Contains(4) || !loaded.Contains(9) || loaded.Len() != 2 {
+		t.Errorf("loaded = %v", loaded.IDs())
+	}
+	// Developer ships an update: the periodic re-read picks it up (§3.2).
+	updated := FromIDs(4, 9, 21)
+	if err := updated.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Contains(21) {
+		t.Error("Reload did not pick up the shipped update")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("Load of missing file: want error")
+	}
+}
+
+func TestReloadNoSource(t *testing.T) {
+	w := FromIDs(1)
+	if err := w.Reload(); err != nil {
+		t.Errorf("Reload without source must be a no-op: %v", err)
+	}
+	if !w.Contains(1) {
+		t.Error("Reload without source lost contents")
+	}
+}
+
+func TestReloadReplaces(t *testing.T) {
+	w := FromIDs(1, 2, 3)
+	w.Source = func() (io.Reader, error) { return strings.NewReader("7\n"), nil }
+	if err := w.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Contains(1) || !w.Contains(7) || w.Len() != 1 {
+		t.Errorf("Reload did not replace contents: %v", w.IDs())
+	}
+}

@@ -1,0 +1,599 @@
+// Package workloads provides MiniC analogs of the applications the paper
+// evaluates (Table 2): the Firefox NSS crypto library, the VLC media player,
+// the Apache web server under the Webstone workload, MySQL under TPC-W, and
+// the SPEC OMP suite. Overhead measurements are relative — Kivati versus
+// vanilla on the same program — so what matters is that each analog
+// reproduces its application's *concurrency structure*: thread counts,
+// shared-variable density relative to private compute, synchronization
+// discipline (locks, flags), benign-violation sources, request loops for the
+// two servers, and enough concurrently-live atomic regions to pressure the
+// four hardware watchpoints.
+//
+// Design rules the generators follow:
+//
+//   - Compute lives in helper functions taking integer parameters; their
+//     locals are not data-flow dependent on shared state, so they carry no
+//     atomic regions — like the library and arithmetic code that dominates
+//     real applications.
+//   - Shared state is mostly lock-protected; unprotected statistics
+//     counters (the benign-violation / false-positive sources) are updated
+//     on a small fraction of iterations.
+//   - Per-app knobs: compute rounds per iteration (annotation density) and
+//     the number of simultaneously-live shared variables (watchpoint
+//     pressure).
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"kivati/internal/core"
+	"kivati/internal/vm"
+)
+
+// Spec describes one benchmark application.
+type Spec struct {
+	Name        string
+	Description string // the paper's Table 2 workload description
+	PaperSecs   int    // the paper's Table 3 vanilla runtime, seconds
+	Source      string
+	Starts      []core.Start
+	Requests    *vm.RequestConfig
+	// FlagVars are synchronization flags (beyond lock/unlock operands)
+	// that the SyncVars whitelist covers (§3.4 optimization 4).
+	FlagVars []string
+	// Server marks request/latency workloads (Table 5).
+	Server bool
+}
+
+// Scale multiplies per-thread iteration counts; 1.0 is the default benchmark
+// size (tests use smaller scales).
+type Scale float64
+
+func iters(s Scale, base int) int {
+	n := int(float64(base) * float64(s))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// PerfSuite returns the five performance applications at the given scale.
+func PerfSuite(s Scale) []*Spec {
+	return []*Spec{
+		NSS(s), VLC(s), Webstone(s), TPCW(s), SPECOMP(s),
+	}
+}
+
+// waitBlock emits the standard completion barrier: main spins on a
+// lock-protected counter.
+func waitBlock(n int) string {
+	return fmt.Sprintf(`    while (done < %d) {
+        yield();
+    }
+`, n)
+}
+
+// computeFn emits an AR-free compute helper: its locals depend only on
+// integer parameters, so the annotator finds nothing to bracket.
+func computeFn(name string, rounds int) string {
+	return fmt.Sprintf(`
+int %s(int v) {
+    int x;
+    int j;
+    x = v + 10007;
+    j = 0;
+    while (j < %d) {
+        x = x * 31 + j;
+        x = x ^ (x >> 7);
+        j = j + 1;
+    }
+    return x;
+}
+`, name, rounds)
+}
+
+// NSS models the Mozilla NSS crypto library: worker threads performing
+// digest-heavy "handshakes" against a lock-protected session cache, with a
+// racy reference count and a check-then-initialize session pointer (the
+// benign-violation sources behind its prevention-mode false positives).
+func NSS(s Scale) *Spec {
+	n := iters(s, 160)
+	src := fmt.Sprintf(`
+int cache[8];
+int cachekeys[8];
+int session_ptr;
+int refcount;
+int handshakes;
+int bytes_moved;
+int cache_evictions;
+int sess_renewals;
+int cachelk;
+int statlk;
+int done;
+%s
+void handshake(int id, int i) {
+    int key;
+    int slot;
+    int val;
+    key = digest(id * 1024 + i);
+    slot = key %% 8;
+    if (slot < 0) {
+        slot = 0 - slot;
+    }
+    lock(cachelk);
+    if (cachekeys[slot] == key) {
+        val = cache[slot];
+    } else {
+        cachekeys[slot] = key;
+        cache[slot] = key + 1;
+        val = key + 1;
+    }
+    unlock(cachelk);
+    val = digest(val);
+    if (i %% 10 == 0) {
+        refcount = refcount + 1;
+        if (session_ptr == 0) {
+            session_ptr = val;
+        }
+        refcount = refcount - 1;
+    }
+    if (i %% 26 == 0) {
+        bytes_moved = bytes_moved + val %% 211;
+    }
+    if (i %% 110 == 0) {
+        cache_evictions = cache_evictions + 1;
+    }
+    if (i %% 290 == 3) {
+        sess_renewals = sess_renewals + val %% 3;
+    }
+}
+
+void worker(int id) {
+    int i;
+    i = 0;
+    while (i < %d) {
+        handshake(id, i);
+        if (i %% 40 == 0) {
+            lock(statlk);
+            handshakes = handshakes + 1;
+            unlock(statlk);
+        }
+        i = i + 1;
+    }
+    lock(statlk);
+    done = done + 1;
+    unlock(statlk);
+}
+
+void main() {
+    spawn(worker, 1);
+    spawn(worker, 2);
+    spawn(worker, 3);
+    worker(0);
+%s}
+`, computeFn("digest", 300), n, waitBlock(4))
+	return &Spec{
+		Name:        "NSS",
+		Description: "Ran the Mozilla NSS crypto test suite (handshake/digest workload analog)",
+		PaperSecs:   1298,
+		Source:      src,
+		FlagVars:    []string{"done"},
+	}
+}
+
+// VLC models the VLC media player: a producer decodes frames into a ring
+// buffer, consumers render them, with flag-based hand-off (required
+// violations) and rare unprotected frame statistics. Lowest shared-access
+// density of the suite — most of each iteration is decode/render compute.
+func VLC(s Scale) *Spec {
+	n := iters(s, 180)
+	src := fmt.Sprintf(`
+int ring[16];
+int head;
+int tail;
+int frames_out;
+int frames_in;
+int late_frames;
+int av_desync;
+int drops;
+int eof;
+int buflk;
+int statlk;
+int done;
+%s
+void producer(int id) {
+    int i;
+    int slot;
+    int frame;
+    i = 0;
+    while (i < %d) {
+        frame = decode(i);
+        lock(buflk);
+        if (head - tail < 16) {
+            ring[head %% 16] = frame;
+            head = head + 1;
+        }
+        unlock(buflk);
+        if (i %% 5 == 0) {
+            frames_in = frames_in + 1;
+        }
+        if (i %% 11 == 0) {
+            drops = drops + frame %% 2;
+        }
+        i = i + 1;
+    }
+    eof = 1;
+    lock(statlk);
+    done = done + 1;
+    unlock(statlk);
+}
+
+void consumer(int id) {
+    int frame;
+    int run;
+    int rendered;
+    int f;
+    run = 1;
+    while (run == 1) {
+        frame = 0 - 1;
+        lock(buflk);
+        if (tail < head) {
+            frame = ring[tail %% 16];
+            tail = tail + 1;
+        }
+        unlock(buflk);
+        if (frame >= 0) {
+            rendered = decode(frame);
+            if (rendered %% 6 == 0) {
+                f = frames_out;
+                f = f + decode(rendered) %% 2;
+                frames_out = f + 1;
+            }
+            if (rendered %% 9 == 1) {
+                late_frames = late_frames + 1;
+            }
+            if (rendered %% 30 == 2) {
+                av_desync = av_desync + 1;
+            }
+        } else {
+            if (eof == 1) {
+                run = 0;
+            } else {
+                sleep(150);
+            }
+        }
+    }
+    lock(statlk);
+    done = done + 1;
+    unlock(statlk);
+}
+
+void main() {
+    spawn(consumer, 1);
+    producer(0);
+%s}
+`, computeFn("decode", 900), n, waitBlock(2))
+	return &Spec{
+		Name:        "VLC",
+		Description: "Played a media clip through a decode/render pipeline (ring-buffer analog)",
+		PaperSecs:   1510,
+		Source:      src,
+		FlagVars:    []string{"eof", "done"},
+	}
+}
+
+// Webstone models the Apache web server driven by the Webstone load
+// generator: worker threads receive requests, hit a lock-protected document
+// cache, and occasionally update unprotected hit/byte counters.
+func Webstone(s Scale) *Spec {
+	reqs := iters(s, 260)
+	src := fmt.Sprintf(`
+int cache[8];
+int cachetag[8];
+int hits;
+int bytes;
+int keepalives;
+int err_count;
+int redirects;
+int cachelk;
+int statlk;
+int done;
+int served;
+%s
+void serve(int req) {
+    int doc;
+    int slot;
+    int body;
+    int h;
+    int g;
+    g = req * 48271 + 11;
+    g = g ^ (g >> 9);
+    if (g < 0) {
+        g = 0 - g;
+    }
+    doc = g %% 13;
+    slot = doc %% 8;
+    lock(cachelk);
+    if (cachetag[slot] == doc + 1) {
+        body = cache[slot];
+    } else {
+        cachetag[slot] = doc + 1;
+        cache[slot] = doc * 7 + 3;
+        body = doc * 7 + 3;
+    }
+    unlock(cachelk);
+    g = render(g);
+    if (g %% 3 == 0) {
+        h = hits;
+        h = h + render(req) %% 2;
+        hits = h + 1;
+    }
+    if (g %% 6 == 1) {
+        h = bytes;
+        h = h + render(g) %% 4;
+        bytes = h + g %% 1009;
+    }
+    if (g %% 12 == 2) {
+        keepalives = keepalives + 1;
+    }
+    if (g %% 40 == 3) {
+        err_count = err_count + g %% 2;
+    }
+    if (g %% 90 == 5) {
+        redirects = redirects + 1;
+    }
+}
+
+void worker(int id) {
+    int req;
+    int stop;
+    stop = 0;
+    while (stop == 0) {
+        lock(statlk);
+        if (served >= %d) {
+            stop = 1;
+        } else {
+            served = served + 1;
+        }
+        unlock(statlk);
+        if (stop == 0) {
+            req = recv();
+            serve(req);
+            send(req);
+        }
+    }
+    lock(statlk);
+    done = done + 1;
+    unlock(statlk);
+}
+
+void main() {
+    spawn(worker, 1);
+    spawn(worker, 2);
+    spawn(worker, 3);
+    worker(0);
+%s}
+`, computeFn("render", 650), reqs, waitBlock(4))
+	return &Spec{
+		Name:        "Webstone",
+		Description: "Ran the Webstone benchmark against the web server (request/cache analog)",
+		PaperSecs:   3000,
+		Source:      src,
+		Requests:    &vm.RequestConfig{MeanInterarrival: 1100, Count: reqs},
+		FlagVars:    []string{"done"},
+		Server:      true,
+	}
+}
+
+// TPCW models MySQL under TPC-W: more worker threads, multi-table
+// transactions touching several shared variables at once (the watchpoint
+// pressure source — TPC-W shows the paper's highest missed-AR rates), and
+// a racy sequence counter.
+func TPCW(s Scale) *Spec {
+	reqs := iters(s, 300)
+	src := fmt.Sprintf(`
+int items[16];
+int stock[16];
+int orders[16];
+int nextorder;
+int commits;
+int seqno;
+int deadlock_retries;
+int slow_queries;
+int tablelk;
+int orderlk;
+int statlk;
+int done;
+int served;
+%s
+void txn(int req) {
+    int item;
+    int qty;
+    int oid;
+    int price;
+    int plan;
+    int sq;
+    plan = optimize(req);
+    item = plan %% 16;
+    if (item < 0) {
+        item = 0 - item;
+    }
+    qty = req %% 3 + 1;
+    lock(tablelk);
+    price = items[item];
+    if (stock[item] >= qty) {
+        stock[item] = stock[item] - qty;
+    } else {
+        stock[item] = stock[item] + 50;
+    }
+    items[item] = price + qty %% 2;
+    unlock(tablelk);
+    plan = optimize(plan);
+    if ((plan + req) %% 4 == 0) {
+        lock(orderlk);
+        oid = nextorder %% 16;
+        if (oid < 0) {
+            oid = 0;
+        }
+        orders[oid] = item * 100 + qty;
+        nextorder = nextorder + 1;
+        unlock(orderlk);
+    }
+    if ((plan + req) %% 5 == 0) {
+        sq = seqno;
+        sq = sq + optimize(req) %% 2;
+        seqno = sq + 1;
+    }
+    if ((plan + req * 3) %% 7 == 0) {
+        commits = commits + 1;
+    }
+    if ((plan + req) %% 35 == 2) {
+        deadlock_retries = deadlock_retries + 1;
+    }
+    if ((plan + req) %% 110 == 7) {
+        slow_queries = slow_queries + qty;
+    }
+}
+
+void worker(int id) {
+    int req;
+    int stop;
+    stop = 0;
+    while (stop == 0) {
+        lock(statlk);
+        if (served >= %d) {
+            stop = 1;
+        } else {
+            served = served + 1;
+        }
+        unlock(statlk);
+        if (stop == 0) {
+            req = recv();
+            txn(req);
+            send(req);
+        }
+    }
+    lock(statlk);
+    done = done + 1;
+    unlock(statlk);
+}
+
+void main() {
+    spawn(worker, 1);
+    spawn(worker, 2);
+    spawn(worker, 3);
+    spawn(worker, 4);
+    spawn(worker, 5);
+    worker(0);
+%s}
+`, computeFn("optimize", 420), reqs, waitBlock(6))
+	return &Spec{
+		Name:        "TPC-W",
+		Description: "Ran the TPC-W workload against the database (multi-table transaction analog)",
+		PaperSecs:   1800,
+		Source:      src,
+		Requests:    &vm.RequestConfig{MeanInterarrival: 900, Count: reqs},
+		FlagVars:    []string{"done"},
+		Server:      true,
+	}
+}
+
+// SPECOMP models the SPEC OMP suite: data-parallel phases over shared
+// arrays (whole arrays are treated as shared — the paper's coarse array
+// handling — so disjoint per-thread slices still pair), flag-based phase
+// barriers, and lock-protected reductions.
+func SPECOMP(s Scale) *Spec {
+	n := iters(s, 70)
+	src := fmt.Sprintf(`
+int grid[32];
+int sum;
+int residual;
+int converged;
+int flops_est;
+int phase;
+int arrived;
+int redlk;
+int barlk;
+int done;
+%s
+void wait_phase(int p) {
+    while (phase == p) {
+        sleep(120);
+    }
+}
+
+void barrier(int nthreads) {
+    int myphase;
+    lock(barlk);
+    myphase = phase;
+    arrived = arrived + 1;
+    if (arrived == nthreads) {
+        arrived = 0;
+        phase = phase + 1;
+    }
+    unlock(barlk);
+    wait_phase(myphase);
+}
+
+void relax(int base, int it) {
+    grid[base + it %% 8] = stencil(grid[base + it %% 8]) %% 4096;
+    if (it %% 14 == 0) {
+        residual = residual + grid[base] %% 5;
+    }
+}
+
+void worker(int id) {
+    int it;
+    int local;
+    it = 0;
+    while (it < %d) {
+        relax(id * 8, it);
+        local = grid[id * 8] + grid[id * 8 + 7];
+        if (it %% 22 == 0) {
+            converged = converged + local %% 2;
+        }
+        if (it %% 60 == 1) {
+            flops_est = flops_est + local %% 7;
+        }
+        lock(redlk);
+        sum = sum + local;
+        unlock(redlk);
+        barrier(4);
+        it = it + 1;
+    }
+    lock(redlk);
+    done = done + 1;
+    unlock(redlk);
+}
+
+void main() {
+    spawn(worker, 1);
+    spawn(worker, 2);
+    spawn(worker, 3);
+    worker(0);
+%s}
+`, computeFn("stencil", 900), n, waitBlock(4))
+	return &Spec{
+		Name:        "SPEC OMP",
+		Description: "Ran the OpenMP benchmark suite (data-parallel stencil + barrier analog)",
+		PaperSecs:   4800,
+		Source:      src,
+		FlagVars:    []string{"phase", "arrived", "done"},
+	}
+}
+
+// Names lists the perf suite application names in paper order.
+func Names() []string {
+	return []string{"NSS", "VLC", "Webstone", "TPC-W", "SPEC OMP"}
+}
+
+// ByName returns the named spec at the given scale.
+func ByName(name string, s Scale) (*Spec, error) {
+	for _, spec := range PerfSuite(s) {
+		if strings.EqualFold(spec.Name, name) {
+			return spec, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown application %q", name)
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"testing"
+
+	"kivati/internal/core"
+	"kivati/internal/kernel"
+)
+
+// runSpec builds and executes a workload at a small scale.
+func runSpec(t *testing.T, spec *Spec, cfg core.RunConfig) *core.Program {
+	t.Helper()
+	p, err := core.Build(spec.Source)
+	if err != nil {
+		t.Fatalf("%s: Build: %v", spec.Name, err)
+	}
+	cfg.Requests = spec.Requests
+	cfg.Starts = spec.Starts
+	res, err := core.Run(p, cfg)
+	if err != nil {
+		t.Fatalf("%s: Run: %v", spec.Name, err)
+	}
+	if res.Reason != "completed" {
+		t.Fatalf("%s: reason %q (ticks=%d, stats=%+v)", spec.Name, res.Reason, res.Ticks, *res.Stats)
+	}
+	return p
+}
+
+func TestAllWorkloadsCompleteVanilla(t *testing.T) {
+	for _, spec := range PerfSuite(0.1) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			runSpec(t, spec, core.RunConfig{Vanilla: true, Seed: 1, MaxTicks: 80_000_000})
+		})
+	}
+}
+
+func TestAllWorkloadsCompleteUnderKivati(t *testing.T) {
+	for _, spec := range PerfSuite(0.1) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			runSpec(t, spec, core.RunConfig{
+				Mode: kernel.Prevention, Opt: kernel.OptBase,
+				Seed: 1, MaxTicks: 200_000_000,
+			})
+		})
+	}
+}
+
+func TestWorkloadsHaveARs(t *testing.T) {
+	for _, spec := range PerfSuite(0.1) {
+		p, err := core.Build(spec.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if n := len(p.Annotated.ARs); n < 10 {
+			t.Errorf("%s: only %d ARs; workload too sparse", spec.Name, n)
+		}
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	spec := NSS(0.05)
+	cfg := core.RunConfig{Mode: kernel.Prevention, Opt: kernel.OptBase, Seed: 42, MaxTicks: 100_000_000}
+	p, err := core.Build(spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ticks != r2.Ticks || len(r1.Violations) != len(r2.Violations) {
+		t.Errorf("same-seed runs differ: %d/%d ticks, %d/%d violations",
+			r1.Ticks, r2.Ticks, len(r1.Violations), len(r2.Violations))
+	}
+}
+
+func TestServersRecordLatencies(t *testing.T) {
+	for _, spec := range PerfSuite(0.1) {
+		if !spec.Server {
+			continue
+		}
+		p, err := core.Build(spec.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(p, core.RunConfig{
+			Vanilla: true, Seed: 1, MaxTicks: 80_000_000, Requests: spec.Requests,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(res.Latencies) == 0 {
+			t.Errorf("%s: no request latencies recorded", spec.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := ByName(name, 1); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("ByName(nope): want error")
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	if iters(0, 100) != 2 {
+		t.Errorf("iters floor = %d", iters(0, 100))
+	}
+	if iters(2, 100) != 200 {
+		t.Errorf("iters(2,100) = %d", iters(2, 100))
+	}
+}
