@@ -24,6 +24,56 @@ func benchOpts() harness.Options {
 	return harness.Options{Scale: benchScale, Seed: 1}
 }
 
+// sweep replays the five perf-suite tables (3, 4, 5, 7, 8) — the
+// multi-table portion of `kivati-bench -all` that dominates sweep time.
+func sweep(b *testing.B, o harness.Options) {
+	if _, err := harness.RunTable3(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := harness.RunTable4(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := harness.RunTable5(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := harness.RunTable7(o); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := harness.RunTable8(o); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepSerialCold approximates the pre-pool harness: one worker,
+// and the build cache dropped before every sweep so the workloads re-parse,
+// re-analyze and re-compile each iteration — what a fresh process paid
+// before the shared cache existed.
+func BenchmarkSweepSerialCold(b *testing.B) {
+	o := benchOpts()
+	o.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		harness.ResetBuildCache()
+		sweep(b, o)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "s/sweep")
+}
+
+// BenchmarkSweepParallelWarm is the shipped configuration: GOMAXPROCS pool
+// workers and the process-wide build cache shared across tables. Compare
+// s/sweep against BenchmarkSweepSerialCold for the wall-clock win; the two
+// print byte-identical tables (see the harness determinism tests).
+func BenchmarkSweepParallelWarm(b *testing.B) {
+	o := benchOpts() // Parallelism 0 = GOMAXPROCS
+	harness.ResetBuildCache()
+	for i := 0; i < b.N; i++ {
+		sweep(b, o)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "s/sweep")
+	hits, misses := harness.BuildCacheStats()
+	b.ReportMetric(float64(hits), "cache_hits")
+	b.ReportMetric(float64(misses), "cache_misses")
+}
+
 // BenchmarkVMExecution measures the raw simulated-machine speed executing
 // the vanilla NSS workload (host ns per simulated instruction).
 func BenchmarkVMExecution(b *testing.B) {

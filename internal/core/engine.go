@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"kivati/internal/annotate"
 	"kivati/internal/compile"
@@ -18,12 +19,16 @@ import (
 )
 
 // Program is a built (annotated) program, with compiled binaries cached per
-// code-generation variant.
+// code-generation variant. After Build returns, a Program is read-only
+// except for the binary cache, which is guarded by a mutex — so one Program
+// may serve any number of concurrent Run calls (the harness fans runs out
+// across a worker pool).
 type Program struct {
 	Source    string
 	AST       *minic.Program
 	Annotated *annotate.Program
 
+	mu   sync.Mutex
 	bins map[compile.Options]*compile.Binary
 }
 
@@ -53,7 +58,10 @@ func BuildWithOptions(source string, opts annotate.Options) (*Program, error) {
 }
 
 // Binary returns (compiling on first use) the binary for the given options.
+// Safe for concurrent use; a variant compiles at most once per Program.
 func (p *Program) Binary(opts compile.Options) (*compile.Binary, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if b, ok := p.bins[opts]; ok {
 		return b, nil
 	}

@@ -26,25 +26,34 @@ type Table6Row struct {
 	PaperPrev, Paper20, Paper50 string
 }
 
+// detection is one detect run's outcome: when the bug manifested, if it did.
+type detection struct {
+	when  uint64
+	found bool
+}
+
 // RunTable6 measures how long Kivati takes to detect (and prevent) each of
 // the 11 corpus bugs, in prevention mode and bug-finding mode with 20 ms and
 // 50 ms pauses. Each run stops at the first violation on a bug variable or
-// at the 90-scaled-minute cap.
+// at the 90-scaled-minute cap. The 33 detect runs (11 bugs x 3
+// configurations) fan out across the pool; each bug's program builds once
+// through the build cache and is shared by its three runs.
 func RunTable6(o Options) ([]Table6Row, error) {
 	o = o.defaults()
-	var out []Table6Row
-	for bi, b := range bugs.Corpus() {
-		p, err := core.Build(b.Source)
-		if err != nil {
-			return nil, fmt.Errorf("harness: bug %s %s: %w", b.App, b.ID, err)
-		}
+	corpus := bugs.Corpus()
+
+	var jobs []func() (detection, error)
+	for bi, b := range corpus {
 		bugVars := map[string]bool{}
 		for _, v := range b.BugVars {
 			bugVars[v] = true
 		}
-		detect := func(mode kernel.Mode, pause uint64) (uint64, bool, error) {
-			var when uint64
-			found := false
+		detect := func(mode kernel.Mode, pause uint64) (detection, error) {
+			p, err := sharedCache.program("bug:"+b.App+"/"+b.ID, b.Source)
+			if err != nil {
+				return detection{}, fmt.Errorf("harness: bug %s %s: %w", b.App, b.ID, err)
+			}
+			var d detection
 			cfg := core.RunConfig{
 				Mode:           mode,
 				Opt:            kernel.OptBase,
@@ -58,32 +67,42 @@ func RunTable6(o Options) ([]Table6Row, error) {
 				Starts:         b.Starts(),
 				OnViolation: func(v trace.Violation) bool {
 					if bugVars[v.Var] {
-						when = v.Tick
-						found = true
+						d.when = v.Tick
+						d.found = true
 						return true
 					}
 					return false
 				},
 			}
-			res, err := core.Run(p, cfg)
-			if err != nil {
-				return 0, false, fmt.Errorf("harness: bug %s %s: %w", b.App, b.ID, err)
+			if _, err := core.Run(p, cfg); err != nil {
+				return detection{}, fmt.Errorf("harness: bug %s %s: %w", b.App, b.ID, err)
 			}
-			_ = res
-			return when, found, nil
+			return d, nil
 		}
-		row := Table6Row{App: b.App, ID: b.ID,
-			PaperPrev: b.PaperPrev, Paper20: b.Paper20, Paper50: b.Paper50}
-		if row.PrevTicks, row.PrevDetected, err = detect(kernel.Prevention, 0); err != nil {
-			return nil, err
+		for _, run := range []struct {
+			mode  kernel.Mode
+			pause uint64
+		}{{kernel.Prevention, 0}, {kernel.BugFinding, Pause20}, {kernel.BugFinding, Pause50}} {
+			jobs = append(jobs, func() (detection, error) {
+				return detect(run.mode, run.pause)
+			})
 		}
-		if row.Bug20Ticks, row.Bug20Found, err = detect(kernel.BugFinding, Pause20); err != nil {
-			return nil, err
-		}
-		if row.Bug50Ticks, row.Bug50Found, err = detect(kernel.BugFinding, Pause50); err != nil {
-			return nil, err
-		}
-		out = append(out, row)
+	}
+	results, err := runJobs(o.parallelism(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Table6Row
+	for bi, b := range corpus {
+		prev, bug20, bug50 := results[bi*3], results[bi*3+1], results[bi*3+2]
+		out = append(out, Table6Row{
+			App: b.App, ID: b.ID,
+			PrevTicks: prev.when, PrevDetected: prev.found,
+			Bug20Ticks: bug20.when, Bug20Found: bug20.found,
+			Bug50Ticks: bug50.when, Bug50Found: bug50.found,
+			PaperPrev: b.PaperPrev, Paper20: b.Paper20, Paper50: b.Paper50,
+		})
 	}
 	return out, nil
 }

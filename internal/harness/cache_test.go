@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"kivati/internal/workloads"
+)
+
+func TestBuildCacheMemoizesAcrossTables(t *testing.T) {
+	ResetBuildCache()
+	defer ResetBuildCache()
+
+	spec := workloads.NSS(workloads.Scale(0.05))
+	a1, err := sharedCache.prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sharedCache.prepare(workloads.NSS(workloads.Scale(0.05)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("same (workload, scale) prepared twice; cache did not memoize")
+	}
+	hits, misses := BuildCacheStats()
+	if misses != 1 || hits != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// A different scale bakes different iteration counts into the source
+	// and must build separately.
+	a3, err := sharedCache.prepare(workloads.NSS(workloads.Scale(0.1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 == a1 {
+		t.Error("different scales shared one build")
+	}
+	if _, misses := BuildCacheStats(); misses != 2 {
+		t.Errorf("misses=%d, want 2", misses)
+	}
+}
+
+func TestBuildCacheConcurrentPrepareBuildsOnce(t *testing.T) {
+	ResetBuildCache()
+	defer ResetBuildCache()
+
+	spec := workloads.VLC(workloads.Scale(0.05))
+	const n = 16
+	apps := make([]*appRun, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := sharedCache.prepare(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			apps[i] = a
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if apps[i] != apps[0] {
+			t.Fatalf("goroutine %d got a different build", i)
+		}
+	}
+	if _, misses := BuildCacheStats(); misses != 1 {
+		t.Errorf("misses=%d, want 1 (single build under contention)", misses)
+	}
+}
+
+func TestBuildCacheBugPrograms(t *testing.T) {
+	ResetBuildCache()
+	defer ResetBuildCache()
+
+	src := "void main() { int x; x = 1; }"
+	p1, err := sharedCache.program("bug:test/1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sharedCache.program("bug:test/1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("bug program built twice")
+	}
+	// A build error is memoized too: the second request must fail the same
+	// way without re-parsing.
+	if _, err := sharedCache.program("bug:test/2", "not a program"); err == nil {
+		t.Fatal("bad source built successfully")
+	}
+	if _, err := sharedCache.program("bug:test/2", "not a program"); err == nil {
+		t.Fatal("memoized bad source built successfully")
+	}
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+)
+
+// The pool must be invisible in the results: for a fixed seed, every table
+// is byte-identical whether the runs execute serially, fan out across 8
+// workers, or repeat within one process (warm build cache). Each run owns
+// its machine and seeded RNG and results slot by job index, so the only
+// way this fails is a shared-state race — which is exactly what it guards.
+
+func table3Output(t *testing.T, o Options) string {
+	t.Helper()
+	res, err := RunTable3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.String()
+}
+
+func TestTable3DeterministicAcrossParallelism(t *testing.T) {
+	o := Options{Scale: 0.1, Seed: 42}
+
+	o.Parallelism = 1
+	serial := table3Output(t, o)
+	o.Parallelism = 8
+	parallel := table3Output(t, o)
+	if serial != parallel {
+		t.Fatalf("serial and 8-way output differ:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	// Repeated invocation in the same process (fully warm build cache).
+	if again := table3Output(t, o); again != serial {
+		t.Fatalf("repeated parallel run differs:\n--- first ---\n%s--- again ---\n%s", serial, again)
+	}
+}
+
+func TestTable6DeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full bug-corpus sweeps; skipped in -short mode")
+	}
+	run := func(p int) string {
+		rows, err := RunTable6(Options{Seed: 7, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTable6(rows)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Fatalf("bug-corpus serial and 8-way output differ:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	if again := run(8); again != serial {
+		t.Fatalf("repeated parallel bug-corpus run differs")
+	}
+}

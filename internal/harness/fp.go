@@ -6,6 +6,7 @@ import (
 
 	"kivati/internal/core"
 	"kivati/internal/kernel"
+	"kivati/internal/vm"
 	"kivati/internal/workloads"
 )
 
@@ -22,37 +23,48 @@ type Table7Row struct {
 
 // RunTable7 runs the performance workloads (which contain no injected bugs)
 // and counts false positives — unique atomic regions with at least one
-// violation (§4.2) — plus the watchpoint trap rate.
+// violation (§4.2) — plus the watchpoint trap rate. The 10 runs (5 apps x 2
+// modes) fan out across the pool.
 func RunTable7(o Options) ([]Table7Row, error) {
 	o = o.defaults()
+	specs := workloads.PerfSuite(workloads.Scale(o.Scale))
+	modes := []kernel.Mode{kernel.Prevention, kernel.BugFinding}
+
+	var jobs []func() (*vm.Result, error)
+	for _, spec := range specs {
+		for _, mode := range modes {
+			jobs = append(jobs, func() (*vm.Result, error) {
+				a, err := sharedCache.prepare(spec)
+				if err != nil {
+					return nil, err
+				}
+				// Unlike the other tables, Table 7 keeps runs that stop
+				// early: a violation in prevention mode is the datum, not
+				// a failure.
+				return core.Run(a.prog, a.config(o, mode, kernel.OptOptimized, false))
+			})
+		}
+	}
+	results, err := runJobs(o.parallelism(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(res *vm.Result) (int, float64, int) {
+		unique := map[int]bool{}
+		for _, v := range res.Violations {
+			unique[v.ARID] = true
+		}
+		secs := float64(res.Ticks) / 1e6
+		return len(unique), float64(res.Stats.Traps) / secs, len(res.Violations)
+	}
 	var out []Table7Row
-	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
-		a, err := prepare(spec)
-		if err != nil {
-			return nil, err
-		}
-		measure := func(mode kernel.Mode) (int, float64, int, error) {
-			cfg := a.config(o, mode, kernel.OptOptimized, false)
-			res, err := core.Run(a.prog, cfg)
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			unique := map[int]bool{}
-			for _, v := range res.Violations {
-				unique[v.ARID] = true
-			}
-			secs := float64(res.Ticks) / 1e6
-			return len(unique), float64(res.Stats.Traps) / secs, len(res.Violations), nil
-		}
+	for si, spec := range specs {
 		row := Table7Row{App: spec.Name}
 		var nv int
-		if row.PrevFP, row.PrevTraps, nv, err = measure(kernel.Prevention); err != nil {
-			return nil, err
-		}
+		row.PrevFP, row.PrevTraps, nv = measure(results[si*2])
 		row.Violations = nv
-		if row.BugFP, row.BugTraps, _, err = measure(kernel.BugFinding); err != nil {
-			return nil, err
-		}
+		row.BugFP, row.BugTraps, _ = measure(results[si*2+1])
 		out = append(out, row)
 	}
 	return out, nil
@@ -83,35 +95,39 @@ type Table8Row struct {
 }
 
 // RunTable8 measures ARs Kivati could not monitor because all watchpoint
-// registers were in use (§3.5).
+// registers were in use (§3.5); the 10 runs fan out across the pool.
 func RunTable8(o Options) ([]Table8Row, error) {
 	o = o.defaults()
+	specs := workloads.PerfSuite(workloads.Scale(o.Scale))
+	modes := []kernel.Mode{kernel.Prevention, kernel.BugFinding}
+
+	var jobs []func() (*vm.Result, error)
+	for _, spec := range specs {
+		for _, mode := range modes {
+			jobs = append(jobs, func() (*vm.Result, error) {
+				return runSpec(o, spec, mode, kernel.OptOptimized, false)
+			})
+		}
+	}
+	results, err := runJobs(o.parallelism(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(res *vm.Result) (kps, pct, monK float64) {
+		secs := float64(res.Ticks) / 1e6
+		missed := float64(res.Stats.MissedARs)
+		total := missed + float64(res.Stats.MonitoredARs)
+		if total == 0 {
+			return 0, 0, 0
+		}
+		return missed / secs / 1e3, missed / total * 100, float64(res.Stats.MonitoredARs) / 1e3
+	}
 	var out []Table8Row
-	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
-		a, err := prepare(spec)
-		if err != nil {
-			return nil, err
-		}
-		measure := func(mode kernel.Mode) (kps, pct, monK float64, err error) {
-			res, err := a.run(a.config(o, mode, kernel.OptOptimized, false))
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			secs := float64(res.Ticks) / 1e6
-			missed := float64(res.Stats.MissedARs)
-			total := missed + float64(res.Stats.MonitoredARs)
-			if total == 0 {
-				return 0, 0, 0, nil
-			}
-			return missed / secs / 1e3, missed / total * 100, float64(res.Stats.MonitoredARs) / 1e3, nil
-		}
+	for si, spec := range specs {
 		row := Table8Row{App: spec.Name}
-		if row.PrevKps, row.PrevPct, row.MonitoredK, err = measure(kernel.Prevention); err != nil {
-			return nil, err
-		}
-		if row.BugKps, row.BugPct, _, err = measure(kernel.BugFinding); err != nil {
-			return nil, err
-		}
+		row.PrevKps, row.PrevPct, row.MonitoredK = measure(results[si*2])
+		row.BugKps, row.BugPct, _ = measure(results[si*2+1])
 		out = append(out, row)
 	}
 	return out, nil
@@ -139,26 +155,35 @@ type Table9Result struct {
 }
 
 // RunTable9 sweeps the watchpoint register count, the paper's answer to
-// "how many registers would be enough?".
+// "how many registers would be enough?". The 55 runs (5 apps x 11 counts)
+// fan out across the pool — the widest fan-out in the harness.
 func RunTable9(o Options) (*Table9Result, error) {
 	o = o.defaults()
+	specs := workloads.PerfSuite(workloads.Scale(o.Scale))
 	out := &Table9Result{Pct: map[string][]float64{}}
 	for n := 2; n <= 12; n++ {
 		out.Counts = append(out.Counts, n)
 	}
-	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
-		a, err := prepare(spec)
-		if err != nil {
-			return nil, err
-		}
-		out.Apps = append(out.Apps, spec.Name)
+
+	var jobs []func() (*vm.Result, error)
+	for _, spec := range specs {
 		for _, n := range out.Counts {
 			oo := o
 			oo.Watchpoints = n
-			res, err := a.run(a.config(oo, kernel.Prevention, kernel.OptOptimized, false))
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, func() (*vm.Result, error) {
+				return runSpec(oo, spec, kernel.Prevention, kernel.OptOptimized, false)
+			})
+		}
+	}
+	results, err := runJobs(o.parallelism(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	for si, spec := range specs {
+		out.Apps = append(out.Apps, spec.Name)
+		for ci := range out.Counts {
+			res := results[si*len(out.Counts)+ci]
 			missed := float64(res.Stats.MissedARs)
 			total := missed + float64(res.Stats.MonitoredARs)
 			pct := 0.0
@@ -200,41 +225,54 @@ type Figure7Result struct {
 // RunFigure7 reproduces the whitelist training experiment: repeated runs,
 // each adding the violated ARs to the whitelist; bug-finding mode surfaces
 // more false positives per iteration and converges in fewer iterations.
+// Each training campaign is inherently sequential (every iteration feeds
+// the next one's whitelist), so the pool parallelizes across the 10
+// campaigns (5 apps x 2 modes) rather than within one.
 func RunFigure7(o Options, iterations int) ([]Figure7Result, error) {
 	o = o.defaults()
 	if iterations <= 0 {
 		iterations = 7
 	}
-	var out []Figure7Result
 	// Each training iteration is a shorter run than the Table 3 benchmarks:
 	// rare benign violations then surface across iterations rather than all
 	// at once, which is what produces the paper's decaying curves.
-	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale * 0.5)) {
-		a, err := prepare(spec)
-		if err != nil {
-			return nil, err
+	specs := workloads.PerfSuite(workloads.Scale(o.Scale * 0.5))
+	modes := []kernel.Mode{kernel.Prevention, kernel.BugFinding}
+
+	var jobs []func() ([]int, error)
+	for _, spec := range specs {
+		for _, mode := range modes {
+			jobs = append(jobs, func() ([]int, error) {
+				a, err := sharedCache.prepare(spec)
+				if err != nil {
+					return nil, err
+				}
+				cfg := a.config(o, mode, kernel.OptOptimized, false)
+				if mode == kernel.BugFinding {
+					// Training runs are offline: sample pauses aggressively
+					// so benign violations surface in fewer iterations.
+					cfg.PauseEvery = 64
+				}
+				tr, err := core.Train(a.prog, cfg, iterations, nil)
+				if err != nil {
+					return nil, err
+				}
+				return tr.NewFPs, nil
+			})
 		}
-		train := func(mode kernel.Mode) ([]int, error) {
-			cfg := a.config(o, mode, kernel.OptOptimized, false)
-			if mode == kernel.BugFinding {
-				// Training runs are offline: sample pauses aggressively
-				// so benign violations surface in fewer iterations.
-				cfg.PauseEvery = 64
-			}
-			tr, err := core.Train(a.prog, cfg, iterations, nil)
-			if err != nil {
-				return nil, err
-			}
-			return tr.NewFPs, nil
-		}
-		r := Figure7Result{App: spec.Name}
-		if r.Prevention, err = train(kernel.Prevention); err != nil {
-			return nil, err
-		}
-		if r.BugFinding, err = train(kernel.BugFinding); err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	}
+	results, err := runJobs(o.parallelism(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Figure7Result
+	for si, spec := range specs {
+		out = append(out, Figure7Result{
+			App:        spec.Name,
+			Prevention: results[si*2],
+			BugFinding: results[si*2+1],
+		})
 	}
 	return out, nil
 }

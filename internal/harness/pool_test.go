@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunJobsSlotsResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		jobs := make([]func() (int, error), 50)
+		for i := range jobs {
+			jobs[i] = func() (int, error) { return i * i, nil }
+		}
+		got, err := runJobs(workers, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunJobsFirstErrorWins(t *testing.T) {
+	// Both jobs 10 and 40 fail; regardless of which worker finishes first,
+	// the lowest-indexed error must be reported — the one a serial sweep
+	// would have hit.
+	err10 := errors.New("boom 10")
+	jobs := make([]func() (int, error), 50)
+	for i := range jobs {
+		switch i {
+		case 10:
+			jobs[i] = func() (int, error) { return 0, err10 }
+		case 40:
+			jobs[i] = func() (int, error) { return 0, errors.New("boom 40") }
+		default:
+			jobs[i] = func() (int, error) { return i, nil }
+		}
+	}
+	for _, workers := range []int{1, 7} {
+		if _, err := runJobs(workers, jobs); !errors.Is(err, err10) {
+			t.Errorf("workers=%d: err = %v, want boom 10", workers, err)
+		}
+	}
+}
+
+func TestRunJobsBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	jobs := make([]func() (int, error), 24)
+	for i := range jobs {
+		jobs[i] = func() (int, error) {
+			n := active.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			runtime.Gosched()
+			active.Add(-1)
+			return i, nil
+		}
+	}
+	if _, err := runJobs(workers, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestRunJobsEmpty(t *testing.T) {
+	got, err := runJobs[int](4, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestParallelismResolution(t *testing.T) {
+	if got := (Options{Parallelism: 5}).parallelism(); got != 5 {
+		t.Errorf("explicit parallelism = %d, want 5", got)
+	}
+	if got := (Options{}).parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS", got)
+	}
+}

@@ -10,7 +10,11 @@ import (
 	"kivati/internal/workloads"
 )
 
-// appRun executes one workload under one configuration.
+// appRun executes one workload under one configuration. After prepare
+// returns, an appRun is read-only — the program's binary cache is
+// internally locked and the whitelist is never mutated by a run — so one
+// appRun is shared by every concurrent pool worker and memoized across
+// tables by the build cache.
 type appRun struct {
 	spec *workloads.Spec
 	prog *core.Program

@@ -62,6 +62,12 @@ type Options struct {
 	Watchpoints int
 	// MaxTicks bounds each individual run.
 	MaxTicks uint64
+	// Parallelism bounds the worker pool that fans out the independent VM
+	// runs inside each table runner. 0 means GOMAXPROCS; 1 forces the
+	// serial order. Results are identical at every setting: each run owns
+	// its machine and RNG, results slot by index, and the first error (in
+	// job order) wins.
+	Parallelism int
 }
 
 func (o Options) defaults() Options {

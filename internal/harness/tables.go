@@ -7,6 +7,7 @@ import (
 	"kivati/internal/hw"
 	"kivati/internal/kernel"
 	"kivati/internal/stats"
+	"kivati/internal/vm"
 	"kivati/internal/workloads"
 )
 
@@ -37,6 +38,16 @@ func Table2(o Options) string {
 	return b.String()
 }
 
+// runSpec is one pool job: prepare the workload through the build cache
+// (compiling at most once per process) and execute one configuration.
+func runSpec(o Options, spec *workloads.Spec, mode kernel.Mode, opt kernel.OptLevel, vanilla bool) (*vm.Result, error) {
+	a, err := sharedCache.prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	return a.run(a.config(o, mode, opt, vanilla))
+}
+
 // Table3Cell is one overhead measurement: prevention / bug-finding.
 type Table3Cell struct {
 	PrevPct float64
@@ -61,29 +72,43 @@ type Table3Result struct {
 
 // RunTable3 measures runtime overhead for every application under the four
 // optimization levels, in prevention and bug-finding mode, against the
-// vanilla binary.
+// vanilla binary. The 45 independent runs (5 apps x [1 vanilla + 4 levels x
+// 2 modes]) fan out across the worker pool; results are slotted by job
+// index so the aggregation below sees them in the exact serial order.
 func RunTable3(o Options) (*Table3Result, error) {
 	o = o.defaults()
-	out := &Table3Result{}
+	specs := workloads.PerfSuite(workloads.Scale(o.Scale))
 	levels := []kernel.OptLevel{kernel.OptBase, kernel.OptNullSyscall, kernel.OptSyncVars, kernel.OptOptimized}
-	sums := map[kernel.OptLevel][2][]float64{}
-	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
-		a, err := prepare(spec)
-		if err != nil {
-			return nil, err
-		}
-		van, err := a.run(a.config(o, kernel.Prevention, kernel.OptBase, true))
-		if err != nil {
-			return nil, err
-		}
-		row := Table3Row{App: spec.Name, VanillaTicks: van.Ticks}
+	modes := []kernel.Mode{kernel.Prevention, kernel.BugFinding}
+	perApp := 1 + len(levels)*len(modes)
+
+	var jobs []func() (*vm.Result, error)
+	for _, spec := range specs {
+		jobs = append(jobs, func() (*vm.Result, error) {
+			return runSpec(o, spec, kernel.Prevention, kernel.OptBase, true)
+		})
 		for _, opt := range levels {
+			for _, mode := range modes {
+				jobs = append(jobs, func() (*vm.Result, error) {
+					return runSpec(o, spec, mode, opt, false)
+				})
+			}
+		}
+	}
+	results, err := runJobs(o.parallelism(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Table3Result{}
+	sums := map[kernel.OptLevel][2][]float64{}
+	for si, spec := range specs {
+		van := results[si*perApp]
+		row := Table3Row{App: spec.Name, VanillaTicks: van.Ticks}
+		for oi, opt := range levels {
 			var cell Table3Cell
-			for mi, mode := range []kernel.Mode{kernel.Prevention, kernel.BugFinding} {
-				res, err := a.run(a.config(o, mode, opt, false))
-				if err != nil {
-					return nil, err
-				}
+			for mi := range modes {
+				res := results[si*perApp+1+oi*len(modes)+mi]
 				pct := stats.OverheadPct(van.Ticks, res.Ticks)
 				if mi == 0 {
 					cell.PrevPct = pct
@@ -162,36 +187,36 @@ type Table4Result struct {
 }
 
 // RunTable4 counts kernel domain crossings (begin/end/clear syscalls plus
-// remote traps) per virtual second in prevention mode.
+// remote traps) per virtual second in prevention mode. The 15 runs (5 apps
+// x 3 levels) fan out across the pool.
 func RunTable4(o Options) (*Table4Result, error) {
 	o = o.defaults()
+	specs := workloads.PerfSuite(workloads.Scale(o.Scale))
+	levels := []kernel.OptLevel{kernel.OptBase, kernel.OptSyncVars, kernel.OptOptimized}
+
+	var jobs []func() (*vm.Result, error)
+	for _, spec := range specs {
+		for _, opt := range levels {
+			jobs = append(jobs, func() (*vm.Result, error) {
+				return runSpec(o, spec, kernel.Prevention, opt, false)
+			})
+		}
+	}
+	results, err := runJobs(o.parallelism(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	kps := func(res *vm.Result) float64 {
+		secs := float64(res.Ticks) / 1e6 // 1 tick = 1 µs
+		return float64(res.Stats.KernelEntries()) / secs / 1e3
+	}
 	out := &Table4Result{}
 	var reductions []float64
-	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
-		a, err := prepare(spec)
-		if err != nil {
-			return nil, err
-		}
-		kps := func(opt kernel.OptLevel) (float64, error) {
-			res, err := a.run(a.config(o, kernel.Prevention, opt, false))
-			if err != nil {
-				return 0, err
-			}
-			secs := float64(res.Ticks) / 1e6 // 1 tick = 1 µs
-			return float64(res.Stats.KernelEntries()) / secs / 1e3, nil
-		}
-		base, err := kps(kernel.OptBase)
-		if err != nil {
-			return nil, err
-		}
-		sync, err := kps(kernel.OptSyncVars)
-		if err != nil {
-			return nil, err
-		}
-		optz, err := kps(kernel.OptOptimized)
-		if err != nil {
-			return nil, err
-		}
+	for si, spec := range specs {
+		base := kps(results[si*len(levels)])
+		sync := kps(results[si*len(levels)+1])
+		optz := kps(results[si*len(levels)+2])
 		row := Table4Row{
 			App: spec.Name, BaseKps: base,
 			SyncVarsKps: sync, SyncVarsReduction: (base - sync) / base * 100,
@@ -230,37 +255,41 @@ type Table5Row struct {
 }
 
 // RunTable5 measures request latency for the two server workloads under the
-// fully optimized configuration.
+// fully optimized configuration; the 6 runs fan out across the pool.
 func RunTable5(o Options) ([]Table5Row, error) {
 	o = o.defaults()
-	var out []Table5Row
+	var servers []*workloads.Spec
 	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
-		if !spec.Server {
-			continue
+		if spec.Server {
+			servers = append(servers, spec)
 		}
-		a, err := prepare(spec)
-		if err != nil {
-			return nil, err
+	}
+
+	var jobs []func() (*vm.Result, error)
+	for _, spec := range servers {
+		for _, cfg := range []struct {
+			mode    kernel.Mode
+			vanilla bool
+		}{{kernel.Prevention, true}, {kernel.Prevention, false}, {kernel.BugFinding, false}} {
+			jobs = append(jobs, func() (*vm.Result, error) {
+				return runSpec(o, spec, cfg.mode, kernel.OptOptimized, cfg.vanilla)
+			})
 		}
-		mean := func(mode kernel.Mode, vanilla bool) (float64, int, error) {
-			res, err := a.run(a.config(o, mode, kernel.OptOptimized, vanilla))
-			if err != nil {
-				return 0, 0, err
-			}
-			return stats.MeanU64(res.Latencies), len(res.Latencies), nil
+	}
+	results, err := runJobs(o.parallelism(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Table5Row
+	for si, spec := range servers {
+		mean := func(i int) (float64, int) {
+			res := results[si*3+i]
+			return stats.MeanU64(res.Latencies), len(res.Latencies)
 		}
-		van, n, err := mean(kernel.Prevention, true)
-		if err != nil {
-			return nil, err
-		}
-		prev, _, err := mean(kernel.Prevention, false)
-		if err != nil {
-			return nil, err
-		}
-		bug, _, err := mean(kernel.BugFinding, false)
-		if err != nil {
-			return nil, err
-		}
+		van, n := mean(0)
+		prev, _ := mean(1)
+		bug, _ := mean(2)
 		out = append(out, Table5Row{
 			App: spec.Name, Vanilla: van,
 			Prevention: prev, PrevPct: (prev - van) / van * 100,
