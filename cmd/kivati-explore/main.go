@@ -1,0 +1,197 @@
+// kivati-explore runs the schedule-exploration differential oracle over the
+// bug corpus: it explores many thread interleavings of a bounded fixture in
+// both vanilla and prevention mode and compares every final snapshot against
+// the serial reference.
+//
+// Usage:
+//
+//	kivati-explore -bug NSS/341323              # one bug, 500 random schedules
+//	kivati-explore -all                         # the whole 11-bug corpus
+//	kivati-explore -bug NSS/341323 -strategy dfs -bound 3
+//	kivati-explore -bug NSS/341323 -trace-dir traces   # record divergent schedules
+//	kivati-explore -replay traces/NSS-341323-vanilla-17.json
+//	kivati-explore -all -json                   # machine-readable report
+//
+// Exit status is nonzero if any prevention-mode schedule diverges from the
+// serial result (an engine bug), or if a replayed trace fails to reproduce
+// its recorded outcome.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"kivati/internal/bugs"
+	"kivati/internal/explore"
+)
+
+// report is the -json output.
+type report struct {
+	Schema       string                `json:"schema"`
+	Strategy     explore.Strategy      `json:"strategy"`
+	Schedules    int                   `json:"schedules"`
+	Seed         int64                 `json:"seed"`
+	Bound        int                   `json:"bound,omitempty"`
+	Subjects     []*explore.DiffReport `json:"subjects"`
+	TotalSeconds float64               `json:"total_seconds"`
+}
+
+func main() {
+	bug := flag.String("bug", "", "explore one bug (App/ID, e.g. NSS/341323)")
+	all := flag.Bool("all", false, "explore the whole 11-bug corpus")
+	strategy := flag.String("strategy", "random", "schedule strategy: random or dfs")
+	n := flag.Int("n", 500, "schedule budget per mode")
+	bound := flag.Int("bound", 3, "dfs: max preemption-point deviations")
+	seed := flag.Int64("seed", 1, "base seed (random: schedule k uses seed+k)")
+	quantum := flag.Uint64("quantum", 0, "preemption quantum override (0 = strategy default)")
+	cores := flag.Int("cores", 1, "simulated cores")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	traceDir := flag.String("trace-dir", "", "record a replayable trace for every divergent schedule into this directory")
+	replay := flag.String("replay", "", "replay one recorded trace file and verify it reproduces")
+	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
+	flag.Parse()
+
+	if *replay != "" {
+		runReplay(*replay, *jsonOut)
+		return
+	}
+	if *bug == "" && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := explore.Options{
+		Strategy:    explore.Strategy(*strategy),
+		Schedules:   *n,
+		Seed:        *seed,
+		Bound:       *bound,
+		Quantum:     *quantum,
+		Cores:       *cores,
+		Parallelism: *parallel,
+	}
+
+	var subjects []*explore.Subject
+	if *all {
+		for _, b := range bugs.Corpus() {
+			s, err := explore.BugSubject(b)
+			check(err)
+			subjects = append(subjects, s)
+		}
+	} else {
+		app, id, ok := strings.Cut(*bug, "/")
+		if !ok {
+			check(fmt.Errorf("bad -bug %q: want App/ID", *bug))
+		}
+		b, err := bugs.ByID(app, id)
+		check(err)
+		s, err := explore.BugSubject(b)
+		check(err)
+		subjects = append(subjects, s)
+	}
+
+	rep := report{
+		Schema:    "kivati-explore/v1",
+		Strategy:  opts.Strategy,
+		Schedules: *n,
+		Seed:      *seed,
+	}
+	if opts.Strategy == explore.DFS {
+		rep.Bound = *bound
+	}
+
+	engineBugs := 0
+	start := time.Now()
+	for _, s := range subjects {
+		t0 := time.Now()
+		d, err := explore.Differential(s, opts)
+		check(err)
+		rep.Subjects = append(rep.Subjects, d)
+		if !*jsonOut {
+			fmt.Printf("%-14s serial=%s  vanilla: %d/%d diverged  prevention: %d/%d diverged\n",
+				d.Subject, fmtSnapshot(d.Serial),
+				d.VanillaDivergences(), len(d.Vanilla.Runs),
+				d.PreventionDivergences(), len(d.Prevention.Runs))
+			fmt.Fprintf(os.Stderr, "# %s: %.2fs\n", d.Subject, time.Since(t0).Seconds())
+		}
+		engineBugs += d.PreventionDivergences()
+		if *traceDir != "" {
+			check(os.MkdirAll(*traceDir, 0o755))
+			check(writeTraces(*traceDir, s, explore.Vanilla, opts, d.Vanilla, *jsonOut))
+			check(writeTraces(*traceDir, s, explore.Prevention, opts, d.Prevention, *jsonOut))
+		}
+	}
+	rep.TotalSeconds = time.Since(start).Seconds()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
+	}
+	if engineBugs > 0 {
+		fmt.Fprintf(os.Stderr, "kivati-explore: ENGINE BUG: %d prevention-mode schedules diverged from the serial result\n", engineBugs)
+		os.Exit(1)
+	}
+}
+
+// writeTraces records one replayable trace per divergent schedule.
+func writeTraces(dir string, s *explore.Subject, mode explore.Mode, opts explore.Options, rep *explore.Report, quiet bool) error {
+	for _, r := range rep.Runs {
+		if !r.Diverged {
+			continue
+		}
+		tr, err := explore.RecordTrace(s, mode, opts, r)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s-%s-%d.json", strings.ReplaceAll(s.Name, "/", "-"), mode, r.Index)
+		path := filepath.Join(dir, name)
+		if err := tr.WriteFile(path); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "# trace: %s\n", path)
+		}
+	}
+	return nil
+}
+
+func runReplay(path string, jsonOut bool) {
+	tr, err := explore.ReadTrace(path)
+	check(err)
+	res, err := explore.Replay(tr)
+	check(err)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(res))
+	} else {
+		fmt.Printf("%s [%s] schedule %d: snapshot=%s serial=%s diverged=%v mismatches=%d\n",
+			tr.Subject, tr.Mode, tr.Index, fmtSnapshot(res.Run.Snapshot),
+			fmtSnapshot(tr.Serial), res.Run.Diverged, res.Mismatches)
+	}
+	if !res.Verdict {
+		fmt.Fprintln(os.Stderr, "kivati-explore: replay did NOT reproduce the recorded outcome")
+		os.Exit(1)
+	}
+	if !jsonOut {
+		fmt.Println("replay reproduced the recorded outcome")
+	}
+}
+
+// fmtSnapshot renders a snapshot in sorted-key order.
+func fmtSnapshot(m map[string]int64) string {
+	b, _ := json.Marshal(m) // map keys sort in encoding/json
+	return string(b)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kivati-explore:", err)
+		os.Exit(1)
+	}
+}

@@ -32,6 +32,15 @@ type Bug struct {
 	// Paper's Table 6 detection times (mm:ss; "-" = no manifestation in
 	// 90 minutes) for prevention, bug-finding 20 ms and 50 ms.
 	PaperPrev, Paper20, Paper50 string
+	// ExploreSource is the bug's bounded schedule-exploration fixture: a
+	// short two-thread program with the same access pattern whose serial
+	// executions all agree on SnapshotVars. See explore.go.
+	ExploreSource string
+	// SnapshotVars are the shared globals the differential oracle
+	// snapshots after an explored schedule: witness variables that are 0
+	// in every serial execution and become nonzero exactly when a thread
+	// observes one of the Figure 2 non-serializable interleavings.
+	SnapshotVars []string
 }
 
 // driver wraps a bug body in the standard harness: two threads loop doing
@@ -100,12 +109,16 @@ func pad(v string, rounds int) string {
 
 // Corpus returns all 11 bugs in the paper's Table 6 order.
 func Corpus() []*Bug {
-	return []*Bug{
+	bs := []*Bug{
 		apache44402(), apache21287(), apache25520(),
 		nss341323(), nss329072(), nss225525(),
 		nss270689(), nss169296(), nss201134(),
 		mysql19938(), mysql25306(),
 	}
+	for _, b := range bs {
+		attachExplore(b)
+	}
+	return bs
 }
 
 // ByID returns the bug with the given app/id.

@@ -133,6 +133,14 @@ type RunConfig struct {
 	OnViolation func(trace.Violation) bool
 	// Starts lists the initial threads; default is one thread in main().
 	Starts []Start
+	// Policy, if non-nil, is the controlled scheduler for this run: it is
+	// consulted at every decision point instead of the VM's seeded
+	// randomization (schedule exploration and trace replay).
+	Policy vm.SchedulePolicy
+	// SnapshotVars names globals whose final values are captured into
+	// Result.Snapshot after the run — the shared-memory observables the
+	// differential oracle compares across schedules.
+	SnapshotVars []string
 }
 
 func (c *RunConfig) defaults() {
@@ -189,6 +197,7 @@ func Run(p *Program, cfg RunConfig) (*vm.Result, error) {
 		MaxTicks: cfg.MaxTicks,
 		Costs:    cfg.Costs,
 		Requests: cfg.Requests,
+		Policy:   cfg.Policy,
 	})
 	if err != nil {
 		return nil, err
@@ -213,6 +222,16 @@ func Run(p *Program, cfg RunConfig) (*vm.Result, error) {
 		m.After(interval, reload)
 	}
 	res := m.Run()
+	if len(cfg.SnapshotVars) > 0 {
+		res.Snapshot = make(map[string]int64, len(cfg.SnapshotVars))
+		for _, name := range cfg.SnapshotVars {
+			addr, ok := bin.Globals[name]
+			if !ok {
+				return res, fmt.Errorf("core: no global %q to snapshot", name)
+			}
+			res.Snapshot[name] = int64(m.Load(addr, 8))
+		}
+	}
 	if len(res.Faults) > 0 {
 		return res, fmt.Errorf("core: program faulted: %s", res.Faults[0])
 	}

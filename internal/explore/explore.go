@@ -1,0 +1,453 @@
+// Package explore is the schedule-exploration subsystem: it drives the VM
+// through the injectable scheduler hook (vm.SchedulePolicy) to enumerate
+// or sample many distinct thread interleavings of one program, and — via
+// the differential oracle in oracle.go — checks Kivati's central claim on
+// each of them: a vanilla run *can* corrupt shared state, a prevention-
+// mode run never corrupts the observables the engine guarantees.
+//
+// Three strategies are provided:
+//
+//   - Random: a seeded random walk — schedule k picks uniformly among the
+//     runnable threads at every decision point, with the preemption
+//     quantum varied per seed so decision points land at different
+//     instruction phases.
+//   - DFS: CHESS-style preemption-bounded depth-first search over the
+//     tree of scheduling decisions. A schedule is a prefix of non-default
+//     choices; children deviate at one more decision point, and prefixes
+//     with more than Bound deviations are pruned.
+//   - Replay (trace.go): re-execute one recorded decision trace exactly.
+//
+// Every run is deterministic given (strategy, seed/prefix, quantum), and
+// exploration output is byte-identical at any Parallelism because results
+// are slotted by schedule index and DFS runs in fixed-size waves.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kivati/internal/bugs"
+	"kivati/internal/core"
+	"kivati/internal/kernel"
+	"kivati/internal/pool"
+	"kivati/internal/vm"
+)
+
+// Strategy selects how schedules are generated.
+type Strategy string
+
+const (
+	Random Strategy = "random"
+	DFS    Strategy = "dfs"
+)
+
+// Mode is one side of the differential comparison.
+type Mode string
+
+const (
+	// Vanilla runs the unannotated binary: no atomic regions, no engine.
+	Vanilla Mode = "vanilla"
+	// Prevention runs the annotated binary under the prevention engine.
+	Prevention Mode = "prevention"
+)
+
+// Subject is one program under exploration.
+type Subject struct {
+	Name         string
+	Source       string
+	SnapshotVars []string
+}
+
+// BugSubject wraps a corpus bug's exploration fixture.
+func BugSubject(b *bugs.Bug) (*Subject, error) {
+	if b.ExploreSource == "" {
+		return nil, fmt.Errorf("explore: bug %s/%s has no exploration fixture", b.App, b.ID)
+	}
+	return &Subject{
+		Name:         b.App + "/" + b.ID,
+		Source:       b.ExploreSource,
+		SnapshotVars: b.SnapshotVars,
+	}, nil
+}
+
+// Options configure an exploration campaign.
+type Options struct {
+	Strategy  Strategy
+	Schedules int   // schedule budget (default 100)
+	Seed      int64 // base seed; random schedule k runs with Seed+k
+	Bound     int   // dfs: max deviations from the default choice (default 3)
+	Horizon   int   // dfs: only the first Horizon decisions spawn children (default 64)
+	Cores     int   // default 1 — single-core interleavings are the bug search space
+	// Quantum is the preemption quantum in ticks. 0 uses the strategy
+	// default: DFS runs at a fixed 40 so the decision tree is well
+	// defined, the random walk varies it per seed over [17,45] so
+	// preemptions land at different instruction phases.
+	Quantum      uint64
+	MaxTicks     uint64 // per-run cap (default 4M)
+	TimeoutTicks uint64 // kernel suspension timeout (default 10k)
+	// Watchpoints defaults to 16, not the hardware's 4: the LSV includes
+	// value-dependent locals, whose ARs compete with the shared variable's
+	// for watchpoints, and an AR that loses the race (RecordMissed) runs
+	// unmonitored — a capacity effect measured by Tables 8 and 9, not the
+	// serializability property this oracle checks. The default provisions
+	// enough watchpoints that every AR of the bounded fixtures is
+	// monitored; set it to 4 to observe the pressure effects instead.
+	Watchpoints int
+	Parallelism int // worker pool size (0 = GOMAXPROCS)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == "" {
+		o.Strategy = Random
+	}
+	if o.Schedules == 0 {
+		o.Schedules = 100
+	}
+	if o.Bound == 0 {
+		o.Bound = 3
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 64
+	}
+	if o.Cores == 0 {
+		o.Cores = 1
+	}
+	if o.MaxTicks == 0 {
+		o.MaxTicks = 4_000_000
+	}
+	if o.TimeoutTicks == 0 {
+		o.TimeoutTicks = 10_000
+	}
+	if o.Watchpoints == 0 {
+		o.Watchpoints = 16
+	}
+	return o
+}
+
+// quantumFor is the random strategy's per-seed quantum in [17,45]: a prime
+// stride decorrelates it from the seed's decision stream.
+func quantumFor(seed int64) uint64 {
+	v := seed * 7919
+	if v < 0 {
+		v = -v
+	}
+	return 17 + uint64(v%29)
+}
+
+// Run is one explored schedule's outcome.
+type Run struct {
+	Index     int    `json:"index"`
+	Seed      int64  `json:"seed"`
+	Quantum   uint64 `json:"quantum"`
+	Prefix    []int  `json:"prefix,omitempty"` // dfs deviation prefix (choice indices)
+	Decisions int    `json:"decisions"`        // decision points consumed
+	// Snapshot is the final value of each subject observable.
+	Snapshot   map[string]int64 `json:"snapshot"`
+	Diverged   bool             `json:"diverged"` // snapshot != serial snapshot
+	Violations int              `json:"violations"`
+	Prevented  int              `json:"prevented"`
+	Ticks      uint64           `json:"ticks"`
+	Reason     string           `json:"reason"`
+}
+
+// Report is the outcome of exploring one subject in one mode.
+type Report struct {
+	Subject     string           `json:"subject"`
+	Mode        Mode             `json:"mode"`
+	Strategy    Strategy         `json:"strategy"`
+	Seed        int64            `json:"seed"`
+	Bound       int              `json:"bound,omitempty"`
+	Schedules   int              `json:"schedules"`
+	Serial      map[string]int64 `json:"serial"`
+	Runs        []Run            `json:"runs"`
+	Divergences int              `json:"divergences"`
+}
+
+// campaign carries the per-subject state shared by every run.
+type campaign struct {
+	subject *Subject
+	prog    *core.Program
+	opts    Options
+	serial  map[string]int64
+}
+
+func newCampaign(subject *Subject, opts Options) (*campaign, error) {
+	prog, err := core.Build(subject.Source)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %s: %w", subject.Name, err)
+	}
+	c := &campaign{subject: subject, prog: prog, opts: opts.withDefaults()}
+	if err := c.serialReference(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// runConfig materializes the core.RunConfig for one schedule.
+func (c *campaign) runConfig(mode Mode, policy vm.SchedulePolicy, quantum uint64, seed int64) core.RunConfig {
+	costs := vm.DefaultCosts()
+	costs.Quantum = quantum
+	return core.RunConfig{
+		Mode:           kernel.Prevention,
+		Opt:            kernel.OptBase,
+		Vanilla:        mode == Vanilla,
+		NumWatchpoints: c.opts.Watchpoints,
+		Cores:          c.opts.Cores,
+		Seed:           seed,
+		MaxTicks:       c.opts.MaxTicks,
+		TimeoutTicks:   c.opts.TimeoutTicks,
+		Costs:          costs,
+		Policy:         policy,
+		SnapshotVars:   c.subject.SnapshotVars,
+	}
+}
+
+// countingPolicy counts the decision points a run consumed.
+type countingPolicy struct {
+	inner vm.SchedulePolicy
+	n     int
+}
+
+func (p *countingPolicy) Pick(sp vm.SchedPoint) int {
+	p.n++
+	if p.inner == nil {
+		return 0
+	}
+	return p.inner.Pick(sp)
+}
+
+// runOne executes one schedule and classifies it against the serial
+// snapshot. An incomplete run (deadlock, tick cap) is an error: every
+// fixture must terminate under every explored schedule.
+func (c *campaign) runOne(mode Mode, policy vm.SchedulePolicy, quantum uint64, seed int64) (Run, error) {
+	cp := &countingPolicy{inner: policy}
+	res, err := core.Run(c.prog, c.runConfig(mode, cp, quantum, seed))
+	if err != nil {
+		return Run{}, fmt.Errorf("explore: %s [%s]: %w", c.subject.Name, mode, err)
+	}
+	if res.Reason != "completed" {
+		return Run{}, fmt.Errorf("explore: %s [%s]: run did not complete: %s (ticks=%d)",
+			c.subject.Name, mode, res.Reason, res.Ticks)
+	}
+	r := Run{
+		Seed:      seed,
+		Quantum:   quantum,
+		Decisions: cp.n,
+		Snapshot:  res.Snapshot,
+		Diverged:  !snapshotsEqual(res.Snapshot, c.serial),
+		Ticks:     res.Ticks,
+		Reason:    res.Reason,
+	}
+	for _, v := range res.Violations {
+		r.Violations++
+		if v.Prevented {
+			r.Prevented++
+		}
+	}
+	return r, nil
+}
+
+func snapshotsEqual(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// randomPolicy picks uniformly among the runnable threads.
+type randomPolicy struct{ rng *rand.Rand }
+
+func (p randomPolicy) Pick(sp vm.SchedPoint) int { return p.rng.Intn(len(sp.Runnable)) }
+
+// randomQuantum resolves the quantum for random-walk schedule seed.
+func (c *campaign) randomQuantum(seed int64) uint64 {
+	if c.opts.Quantum != 0 {
+		return c.opts.Quantum
+	}
+	return quantumFor(seed)
+}
+
+// dfsQuantum resolves the (fixed) DFS quantum.
+func (c *campaign) dfsQuantum() uint64 {
+	if c.opts.Quantum != 0 {
+		return c.opts.Quantum
+	}
+	return 40
+}
+
+// Explore runs one exploration campaign over the subject in one mode.
+func Explore(subject *Subject, mode Mode, opts Options) (*Report, error) {
+	c, err := newCampaign(subject, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.explore(mode)
+}
+
+func (c *campaign) explore(mode Mode) (*Report, error) {
+	rep := &Report{
+		Subject:   c.subject.Name,
+		Mode:      mode,
+		Strategy:  c.opts.Strategy,
+		Seed:      c.opts.Seed,
+		Schedules: c.opts.Schedules,
+		Serial:    c.serial,
+	}
+	var runs []Run
+	var err error
+	switch c.opts.Strategy {
+	case Random:
+		runs, err = c.exploreRandom(mode)
+	case DFS:
+		rep.Bound = c.opts.Bound
+		runs, err = c.exploreDFS(mode)
+	default:
+		return nil, fmt.Errorf("explore: unknown strategy %q", c.opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = runs
+	for _, r := range runs {
+		if r.Diverged {
+			rep.Divergences++
+		}
+	}
+	return rep, nil
+}
+
+// exploreRandom fans the seeded random walks out across the pool; results
+// are slotted by schedule index, so output is parallelism-independent.
+func (c *campaign) exploreRandom(mode Mode) ([]Run, error) {
+	jobs := make([]func() (Run, error), c.opts.Schedules)
+	for k := 0; k < c.opts.Schedules; k++ {
+		k := k
+		seed := c.opts.Seed + int64(k)
+		jobs[k] = func() (Run, error) {
+			policy := randomPolicy{rng: rand.New(rand.NewSource(seed))}
+			r, err := c.runOne(mode, policy, c.randomQuantum(seed), seed)
+			r.Index = k
+			return r, err
+		}
+	}
+	return pool.Run(pool.Workers(c.opts.Parallelism), jobs)
+}
+
+// prefixPolicy follows a deviation prefix: decision i takes prefix[i]
+// (clamped) while i < len(prefix), and the default choice 0 — FIFO
+// round-robin — afterwards. It records the branching factor of every
+// decision so the DFS can enumerate children.
+type prefixPolicy struct {
+	prefix    []int
+	branching []int
+	n         int
+}
+
+func (p *prefixPolicy) Pick(sp vm.SchedPoint) int {
+	choice := 0
+	if p.n < len(p.prefix) {
+		choice = p.prefix[p.n]
+		if choice < 0 || choice >= len(sp.Runnable) {
+			choice = 0
+		}
+	}
+	p.branching = append(p.branching, len(sp.Runnable))
+	p.n++
+	return choice
+}
+
+func deviations(prefix []int) int {
+	d := 0
+	for _, c := range prefix {
+		if c != 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// dfsWave is the fixed batch size of the DFS frontier: waves of this many
+// prefixes run concurrently. It is a constant — not the worker count — so
+// the set of explored schedules is identical at any parallelism.
+const dfsWave = 8
+
+// exploreDFS is the preemption-bounded depth-first search: the frontier is
+// a LIFO stack of deviation prefixes, seeded with the empty prefix (pure
+// round-robin). After a prefix runs, every decision point it passed within
+// the horizon spawns children that deviate there, pruned by the bound.
+func (c *campaign) exploreDFS(mode Mode) ([]Run, error) {
+	quantum := c.dfsQuantum()
+	stack := [][]int{{}}
+	var runs []Run
+	for len(stack) > 0 && len(runs) < c.opts.Schedules {
+		n := dfsWave
+		if n > len(stack) {
+			n = len(stack)
+		}
+		if rem := c.opts.Schedules - len(runs); n > rem {
+			n = rem
+		}
+		// Pop the wave in LIFO order.
+		wave := make([][]int, n)
+		for i := 0; i < n; i++ {
+			wave[i] = stack[len(stack)-1-i]
+		}
+		stack = stack[:len(stack)-n]
+
+		type dfsResult struct {
+			run       Run
+			branching []int
+		}
+		jobs := make([]func() (dfsResult, error), n)
+		for i, prefix := range wave {
+			prefix := prefix
+			jobs[i] = func() (dfsResult, error) {
+				policy := &prefixPolicy{prefix: prefix}
+				r, err := c.runOne(mode, policy, quantum, c.opts.Seed)
+				if err != nil {
+					return dfsResult{}, err
+				}
+				r.Prefix = prefix
+				return dfsResult{run: r, branching: policy.branching}, nil
+			}
+		}
+		results, err := pool.Run(pool.Workers(c.opts.Parallelism), jobs)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			res.run.Index = len(runs)
+			runs = append(runs, res.run)
+			// Children deviate at decision points past this prefix, within
+			// the horizon. Push deepest-first so the LIFO explores the
+			// shallowest deviation next.
+			prefix := wave[i]
+			base := deviations(prefix)
+			if base >= c.opts.Bound {
+				continue
+			}
+			var children [][]int
+			limit := len(res.branching)
+			if limit > c.opts.Horizon {
+				limit = c.opts.Horizon
+			}
+			for d := len(prefix); d < limit; d++ {
+				for choice := 1; choice < res.branching[d]; choice++ {
+					child := make([]int, d+1)
+					copy(child, prefix)
+					child[d] = choice
+					children = append(children, child)
+				}
+			}
+			for j := len(children) - 1; j >= 0; j-- {
+				stack = append(stack, children[j])
+			}
+		}
+	}
+	return runs, nil
+}

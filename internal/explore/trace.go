@@ -1,0 +1,172 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"kivati/internal/vm"
+)
+
+// Decision-trace record and replay.
+//
+// A Trace is a self-contained, replayable record of one explored schedule:
+// the program source, the full run configuration, the serial reference
+// snapshot, and the chosen thread ID at every scheduler decision point.
+// Replaying drives the VM with a vm.Replayer over those decisions; because
+// the machine is fully deterministic given (binary, config, decisions),
+// replay reproduces the run tick-for-tick — zero replay mismatches and a
+// byte-identical snapshot. That is the reproducibility guarantee behind
+// every oracle verdict: any divergent schedule can be re-examined from its
+// trace file alone.
+
+// TraceVersion identifies the trace file format.
+const TraceVersion = 1
+
+// Trace is a recorded schedule, serializable to JSON.
+type Trace struct {
+	Version      int              `json:"version"`
+	Subject      string           `json:"subject"`
+	Source       string           `json:"source"`
+	SnapshotVars []string         `json:"snapshot_vars"`
+	Mode         Mode             `json:"mode"`
+	Strategy     Strategy         `json:"strategy"`
+	Index        int              `json:"index"`
+	Seed         int64            `json:"seed"`
+	Quantum      uint64           `json:"quantum"`
+	Cores        int              `json:"cores"`
+	Watchpoints  int              `json:"watchpoints"`
+	MaxTicks     uint64           `json:"max_ticks"`
+	TimeoutTicks uint64           `json:"timeout_ticks"`
+	Serial       map[string]int64 `json:"serial"`
+	// Decisions is the chosen thread ID at each decision point.
+	Decisions []int `json:"decisions"`
+	// Snapshot and Diverged record the original run's verdict, verified
+	// on replay.
+	Snapshot map[string]int64 `json:"snapshot"`
+	Diverged bool             `json:"diverged"`
+}
+
+// RecordTrace re-executes one schedule from a report with a recording
+// policy and returns its trace. The re-execution is checked against the
+// original run — a mismatch means the schedule was not reproducible and is
+// an error.
+func RecordTrace(subject *Subject, mode Mode, opts Options, run Run) (*Trace, error) {
+	c, err := newCampaign(subject, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.recordTrace(mode, run)
+}
+
+func (c *campaign) recordTrace(mode Mode, run Run) (*Trace, error) {
+	var inner vm.SchedulePolicy
+	switch c.opts.Strategy {
+	case Random:
+		inner = randomPolicy{rng: rand.New(rand.NewSource(run.Seed))}
+	case DFS:
+		inner = &prefixPolicy{prefix: run.Prefix}
+	default:
+		return nil, fmt.Errorf("explore: unknown strategy %q", c.opts.Strategy)
+	}
+	rec := vm.NewRecorder(inner)
+	replayed, err := c.runOne(mode, rec, run.Quantum, run.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if !snapshotsEqual(replayed.Snapshot, run.Snapshot) {
+		return nil, fmt.Errorf("explore: %s [%s] schedule %d: re-execution snapshot %v != original %v",
+			c.subject.Name, mode, run.Index, replayed.Snapshot, run.Snapshot)
+	}
+	return &Trace{
+		Version:      TraceVersion,
+		Subject:      c.subject.Name,
+		Source:       c.subject.Source,
+		SnapshotVars: c.subject.SnapshotVars,
+		Mode:         mode,
+		Strategy:     c.opts.Strategy,
+		Index:        run.Index,
+		Seed:         run.Seed,
+		Quantum:      run.Quantum,
+		Cores:        c.opts.Cores,
+		Watchpoints:  c.opts.Watchpoints,
+		MaxTicks:     c.opts.MaxTicks,
+		TimeoutTicks: c.opts.TimeoutTicks,
+		Serial:       c.serial,
+		Decisions:    rec.Chosen(),
+		Snapshot:     replayed.Snapshot,
+		Diverged:     replayed.Diverged,
+	}, nil
+}
+
+// ReplayResult is the outcome of replaying a trace.
+type ReplayResult struct {
+	Run Run `json:"run"`
+	// Mismatches counts decisions where the recorded thread was not
+	// runnable; a faithful replay has zero.
+	Mismatches int `json:"mismatches"`
+	// Verdict reports whether the replay reproduced the trace's recorded
+	// snapshot (and therefore its divergence verdict).
+	Verdict bool `json:"verdict"`
+}
+
+// Replay re-executes a trace and verifies it reproduces the recorded
+// outcome.
+func Replay(tr *Trace) (*ReplayResult, error) {
+	if tr.Version != TraceVersion {
+		return nil, fmt.Errorf("explore: unsupported trace version %d", tr.Version)
+	}
+	subject := &Subject{Name: tr.Subject, Source: tr.Source, SnapshotVars: tr.SnapshotVars}
+	c, err := newCampaign(subject, Options{
+		Strategy:     tr.Strategy,
+		Schedules:    1,
+		Seed:         tr.Seed,
+		Cores:        tr.Cores,
+		Quantum:      tr.Quantum,
+		MaxTicks:     tr.MaxTicks,
+		TimeoutTicks: tr.TimeoutTicks,
+		Watchpoints:  tr.Watchpoints,
+		Parallelism:  1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !snapshotsEqual(c.serial, tr.Serial) {
+		return nil, fmt.Errorf("explore: %s: serial snapshot %v != trace serial %v",
+			tr.Subject, c.serial, tr.Serial)
+	}
+	rep := vm.NewReplayer(tr.Decisions)
+	run, err := c.runOne(tr.Mode, rep, tr.Quantum, tr.Seed)
+	if err != nil {
+		return nil, err
+	}
+	run.Index = tr.Index
+	return &ReplayResult{
+		Run:        run,
+		Mismatches: rep.Mismatches(),
+		Verdict:    rep.Mismatches() == 0 && snapshotsEqual(run.Snapshot, tr.Snapshot),
+	}, nil
+}
+
+// WriteFile writes the trace as indented JSON.
+func (tr *Trace) WriteFile(path string) error {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadTrace loads a trace file.
+func ReadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("explore: %s: %w", path, err)
+	}
+	return &tr, nil
+}

@@ -98,3 +98,55 @@ func TestBuildCacheBugPrograms(t *testing.T) {
 		t.Fatal("memoized bad source built successfully")
 	}
 }
+
+// TestBuildCacheDistinctSourcesSameName: the cache key includes the program
+// text, so two builds under one name but with different sources (the same
+// workload at two scales, an edited fixture, a future analysis variant)
+// must occupy distinct entries — a name-only key would silently serve the
+// first build for both.
+func TestBuildCacheDistinctSourcesSameName(t *testing.T) {
+	ResetBuildCache()
+	defer ResetBuildCache()
+
+	// Bare-program path.
+	p1, err := sharedCache.program("bug:same/name", "void main() { int x; x = 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sharedCache.program("bug:same/name", "void main() { int x; x = 2; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("different sources under one name shared a cache entry")
+	}
+	if hits, misses := BuildCacheStats(); hits != 0 || misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 0/2", hits, misses)
+	}
+
+	// Workload path: same Name, different Source.
+	s1 := &workloads.Spec{Name: "clash", Source: "int a;\nvoid main() { a = 1; }"}
+	s2 := &workloads.Spec{Name: "clash", Source: "int a;\nvoid main() { a = 2; }"}
+	a1, err := sharedCache.prepare(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sharedCache.prepare(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Error("workload specs with different sources shared a cache entry")
+	}
+	// And the identical spec text still hits, regardless of Spec identity.
+	a3, err := sharedCache.prepare(&workloads.Spec{Name: "clash", Source: s1.Source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 != a1 {
+		t.Error("identical (name, source) rebuilt instead of hitting the cache")
+	}
+	if _, misses := BuildCacheStats(); misses != 4 {
+		t.Errorf("misses=%d, want 4", misses)
+	}
+}

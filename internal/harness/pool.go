@@ -1,76 +1,24 @@
 package harness
 
 import (
-	"runtime"
-	"sync"
+	"kivati/internal/pool"
 )
 
 // The worker pool fans the harness's independent VM runs out across host
 // cores. Every run owns its Machine, Kernel and seeded RNG, and the built
 // core.Program is safe for concurrent Run calls, so the runs are
-// embarrassingly parallel; determinism is preserved by slotting each
-// result into its job index rather than by arrival order, and by
-// reporting the lowest-indexed error — exactly the run a serial sweep
-// would have failed on first.
+// embarrassingly parallel. The pool itself lives in internal/pool (shared
+// with the schedule explorer); see that package for the determinism
+// contract.
 
 // parallelism resolves the worker count for a harness run: the explicit
 // Options.Parallelism if set, otherwise GOMAXPROCS.
 func (o Options) parallelism() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
+	return pool.Workers(o.Parallelism)
 }
 
 // runJobs executes the jobs on a pool of at most workers goroutines and
-// returns their results in job order. If any job fails, the error of the
-// lowest-indexed failing job is returned (matching what a serial sweep
-// would have reported) along with the partial results.
+// returns their results in job order; see pool.Run.
 func runJobs[T any](workers int, jobs []func() (T, error)) ([]T, error) {
-	results := make([]T, len(jobs))
-	if len(jobs) == 0 {
-		return results, nil
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers == 1 {
-		// Serial fast path: no goroutines, identical scheduling to the
-		// pre-pool harness.
-		for i, job := range jobs {
-			res, err := job()
-			if err != nil {
-				return results, err
-			}
-			results[i] = res
-		}
-		return results, nil
-	}
-
-	errs := make([]error, len(jobs))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = jobs[i]()
-			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return pool.Run(workers, jobs)
 }

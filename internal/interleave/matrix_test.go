@@ -1,0 +1,138 @@
+package interleave
+
+import (
+	"testing"
+
+	"kivati/internal/hw"
+)
+
+// RW is the composite access type used for unknown second accesses and for
+// remote accesses that both read and write.
+const RW = hw.ReadWrite
+
+// figure2 is the full Figure 2 matrix, keyed (first, remote, second). Every
+// triple of pure access types appears exactly once.
+var figure2 = map[[3]hw.AccessType]bool{
+	{R, R, R}: false,
+	{R, R, W}: false,
+	{R, W, R}: true, // local reads disagree
+	{R, W, W}: true, // remote write lost
+	{W, R, R}: false,
+	{W, R, W}: true, // remote saw a dirty intermediate value
+	{W, W, R}: true, // local read sees the remote write, not its own
+	{W, W, W}: false,
+}
+
+// figure6 is the full Figure 6 matrix, keyed (first, second), including the
+// unknown-second-access row for both first types.
+var figure6 = map[[2]hw.AccessType]hw.AccessType{
+	{R, R}:  W,
+	{R, W}:  W,
+	{W, R}:  W,
+	{W, W}:  R,
+	{R, RW}: W,  // both expansions watch writes only
+	{W, RW}: RW, // (W,R) needs writes, (W,W) needs reads: watch both
+}
+
+// TestMatrixExhaustive walks every (first, second, remote) access triple —
+// pure types for the interleaving, plus the composite cases each function
+// accepts — and checks all three exported functions against the paper's
+// matrices and against each other:
+//
+//	NonSerializable == Figure 2, WatchType == Figure 6,
+//	Violation(f, s, [r]) == NonSerializable(f, r, s),
+//	and WatchType is exactly the set of remotes that can violate.
+func TestMatrixExhaustive(t *testing.T) {
+	pure := []hw.AccessType{R, W}
+
+	seen := 0
+	for _, f := range pure {
+		for _, r := range pure {
+			for _, s := range pure {
+				seen++
+				want, ok := figure2[[3]hw.AccessType{f, r, s}]
+				if !ok {
+					t.Fatalf("triple (%v,%v,%v) missing from the Figure 2 table", f, r, s)
+				}
+				if got := NonSerializable(f, r, s); got != want {
+					t.Errorf("NonSerializable(%v,%v,%v) = %v, want %v", f, r, s, got, want)
+				}
+				// A single recorded remote of exactly that type must agree.
+				if got := Violation(f, s, []hw.AccessType{r}); got != want {
+					t.Errorf("Violation(%v,%v,[%v]) = %v, disagrees with Figure 2 (%v)", f, s, r, got, want)
+				}
+				// A composite remote RW decomposes: it violates iff either
+				// pure remote type would.
+				either := NonSerializable(f, R, s) || NonSerializable(f, W, s)
+				if got := Violation(f, s, []hw.AccessType{RW}); got != either {
+					t.Errorf("Violation(%v,%v,[RW]) = %v, want %v", f, s, got, either)
+				}
+			}
+		}
+	}
+	if seen != 8 {
+		t.Fatalf("covered %d pure triples, want 8", seen)
+	}
+
+	for _, f := range pure {
+		for _, s := range []hw.AccessType{R, W, RW} {
+			want, ok := figure6[[2]hw.AccessType{f, s}]
+			if !ok {
+				t.Fatalf("pair (%v,%v) missing from the Figure 6 table", f, s)
+			}
+			got := WatchType(f, s)
+			if got != want {
+				t.Errorf("WatchType(%v,%v) = %v, want %v", f, s, got, want)
+			}
+			// Completeness and minimality against Figure 2: a remote type is
+			// watched iff some expansion of the second access makes the
+			// triple non-serializable.
+			seconds := []hw.AccessType{s}
+			if s == RW {
+				seconds = pure
+			}
+			for _, r := range pure {
+				canViolate := false
+				for _, ss := range seconds {
+					if NonSerializable(f, r, ss) {
+						canViolate = true
+					}
+				}
+				if watched := got&r != 0; watched != canViolate {
+					t.Errorf("WatchType(%v,%v): remote %v watched=%v but canViolate=%v",
+						f, s, r, watched, canViolate)
+				}
+			}
+		}
+	}
+
+	// The four non-serializable cases and only those: the invariant the
+	// whole detection engine rests on.
+	n := 0
+	for _, v := range figure2 {
+		if v {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Fatalf("Figure 2 table has %d non-serializable triples, paper says 4", n)
+	}
+}
+
+// TestViolationMultipleRemotes: the end_atomic check scans the whole
+// recorded remote-access list, so one violating access among many benign
+// ones is enough, and order does not matter.
+func TestViolationMultipleRemotes(t *testing.T) {
+	if !Violation(R, R, []hw.AccessType{R, R, R, W, R}) {
+		t.Error("a single remote write among reads must violate an (R,R) region")
+	}
+	if Violation(W, W, []hw.AccessType{W, W, W}) {
+		t.Error("remote writes alone cannot violate a (W,W) region")
+	}
+	if !Violation(W, W, []hw.AccessType{W, R, W}) {
+		t.Error("a remote read among writes must violate a (W,W) region")
+	}
+	if Violation(R, W, nil) {
+		t.Error("no remote accesses, no violation")
+	}
+}

@@ -1,0 +1,82 @@
+package isa
+
+import "fmt"
+
+// EncodeInstr re-encodes a decoded instruction to its binary form, the
+// exact inverse of Decode: for any decodable byte sequence,
+// EncodeInstr(Decode(code, pc)) reproduces code[pc:pc+Len] byte for byte.
+// That inverse property is what makes the boundary table trustworthy — an
+// instruction the undo engine rolls back over must occupy exactly the bytes
+// the decoder claims it does — and it is fuzzed in FuzzISARoundTrip.
+func EncodeInstr(in Instr) ([]byte, error) {
+	n, err := opLen(in.Op)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, n)
+	put8 := func(v uint8) { b = append(b, v) }
+	put32 := func(v uint32) { b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+	put64 := func(v uint64) { put32(uint32(v)); put32(uint32(v >> 32)) }
+
+	op := in.Op
+	put8(uint8(op))
+	switch {
+	case op == OpNOP, op == OpHLT, op == OpRET:
+	case op == OpMOVQ:
+		put8(in.Rd)
+		put64(uint64(in.Imm))
+	case op == OpMOVL:
+		put8(in.Rd)
+		put32(uint32(int32(in.Imm)))
+	case op == OpMOVR:
+		put8(in.Rd)
+		put8(in.Ra)
+	case op >= OpADD && op <= OpCGE:
+		put8(in.Rd)
+		put8(in.Ra)
+		put8(in.Rb)
+	case op == OpADDI:
+		put8(in.Rd)
+		put8(in.Ra)
+		put32(uint32(int32(in.Imm)))
+	default:
+		switch {
+		case isWidth(op, OpLD):
+			put8(in.Rd)
+			put32(in.Addr)
+		case isWidth(op, OpST):
+			put8(in.Ra)
+			put32(in.Addr)
+		case isWidth(op, OpLDR):
+			put8(in.Rd)
+			put8(in.Ra)
+			put32(uint32(int32(in.Imm)))
+		case isWidth(op, OpSTR):
+			put8(in.Ra) // base
+			put8(in.Rb) // source value
+			put32(uint32(int32(in.Imm)))
+		case isWidth(op, OpPUSHM):
+			put32(in.Addr)
+		case op == OpPUSH:
+			put8(in.Ra)
+		case op == OpPOP:
+			put8(in.Rd)
+		case op == OpJMP, op == OpCALL, op == OpCALLM:
+			put32(in.Addr)
+		case op == OpJZ, op == OpJNZ:
+			put8(in.Ra)
+			put32(in.Addr)
+		case op == OpSYS:
+			put8(uint8(in.Imm))
+		}
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("isa: encoded %v to %d bytes, want %d", op, len(b), n)
+	}
+	return b, nil
+}
+
+func isWidth(op, base Op) bool {
+	_, ok := widthGroup(op, base)
+	return ok
+}

@@ -1,0 +1,73 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// resumeOrderMachine records the order threads are resumed in — the
+// observable that schedule replay depends on.
+type resumeOrderMachine struct {
+	*mockMachine
+	resumed []int
+}
+
+func (m *resumeOrderMachine) Resume(tid int) {
+	m.resumed = append(m.resumed, tid)
+	m.mockMachine.Resume(tid)
+}
+
+// TestThreadExitedReleasesLocksInAddressOrder: when a thread dies holding
+// several mutexes, the force-release must wake waiters in ascending mutex
+// address order. Map iteration order would otherwise vary run to run,
+// changing the runnable-queue order at the next decision point and breaking
+// trace replay.
+func TestThreadExitedReleasesLocksInAddressOrder(t *testing.T) {
+	// The exiting thread acquires the locks in a scrambled order; waiter
+	// thread ID encodes the mutex address so the expected wake order is
+	// self-describing.
+	addrs := []uint32{0x500, 0x100, 0x900, 0x300, 0x700}
+	waiters := map[uint32]int{0x100: 21, 0x300: 23, 0x500: 25, 0x700: 27, 0x900: 29}
+
+	for trial := 0; trial < 20; trial++ {
+		k := New(Config{NumWatchpoints: 4, TimeoutTicks: 1000}, nil, nil, nil)
+		m := &resumeOrderMachine{mockMachine: newMock()}
+		k.SetMachine(m)
+
+		for _, a := range addrs {
+			k.Lock(1, a)
+		}
+		for _, a := range addrs {
+			k.Lock(waiters[a], a)
+		}
+		if len(m.blocked) != len(addrs) {
+			t.Fatalf("%d waiters blocked, want %d", len(m.blocked), len(addrs))
+		}
+
+		k.ThreadExited(1)
+
+		want := []int{21, 23, 25, 27, 29} // ascending mutex address
+		if !reflect.DeepEqual(m.resumed, want) {
+			t.Fatalf("trial %d: waiters resumed in order %v, want %v", trial, m.resumed, want)
+		}
+		for _, a := range addrs {
+			held, owner, nwait := k.MutexState(a)
+			if !held || owner != waiters[a] || nwait != 0 {
+				t.Fatalf("mutex %#x after exit: held=%v owner=%d waiters=%d", a, held, owner, nwait)
+			}
+		}
+	}
+}
+
+// TestThreadExitedNoLocksIsQuiet: exiting without held locks resumes nobody.
+func TestThreadExitedNoLocksIsQuiet(t *testing.T) {
+	k := New(Config{NumWatchpoints: 4, TimeoutTicks: 1000}, nil, nil, nil)
+	m := &resumeOrderMachine{mockMachine: newMock()}
+	k.SetMachine(m)
+	k.Lock(1, 0x100)
+	k.Unlock(1, 0x100)
+	k.ThreadExited(1)
+	if len(m.resumed) != 0 {
+		t.Errorf("resumed %v, want none", m.resumed)
+	}
+}

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"sort"
+
 	"kivati/internal/hw"
 	"kivati/internal/interleave"
 	"kivati/internal/trace"
@@ -446,10 +448,18 @@ func (k *Kernel) ClearUser(t, depth int) {
 // are force-released.
 func (k *Kernel) ThreadExited(t int) {
 	k.clearDepth(t, 0)
+	// Force-release in ascending address order: unlocking wakes waiters,
+	// and Go's map iteration order would otherwise make the wake sequence
+	// — and therefore every replayed schedule — nondeterministic.
+	var held []uint32
 	for addr, mu := range k.mutexes {
 		if mu.held && mu.owner == t {
-			k.unlock(t, addr)
+			held = append(held, addr)
 		}
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+	for _, addr := range held {
+		k.unlock(t, addr)
 	}
 }
 

@@ -1,0 +1,117 @@
+package minic
+
+import "testing"
+
+// minicSeeds cover the language surface: globals with initializers, arrays,
+// pointers, control flow, builtins, and operator precedence.
+var minicSeeds = []string{
+	`int x;
+void main() {
+    x = 1;
+}
+`,
+	`int counter;
+int buf[16];
+int init = 42;
+void work(int id) {
+    int i;
+    i = 0;
+    while (i < 10) {
+        buf[i % 16] = counter + id * 2;
+        counter = counter + 1;
+        i = i + 1;
+    }
+}
+void main() {
+    spawn(work, 1);
+    spawn(work, 2);
+}
+`,
+	`int lk;
+int shared;
+int peek(int x) {
+    return shared;
+}
+void main() {
+    int v;
+    lock(lk);
+    v = peek(0);
+    if (v == 0) {
+        shared = v + 1;
+    } else {
+        shared = 0;
+    }
+    unlock(lk);
+    yield();
+}
+`,
+	`int *p;
+int cell;
+void main() {
+    int a;
+    p = &cell;
+    *p = 7;
+    a = *p;
+    if (a > 3 && a < 9) {
+        cell = -a;
+    }
+    while (a != 0) {
+        a = a - 1;
+    }
+}
+`,
+	`void main() {
+    print(1 + 2 * 3 % 4 - 5 / 1);
+    print((1 < 2) == (3 >= 3));
+    print(!0 || 1 && 0);
+}
+`,
+}
+
+// FuzzMinicParse: the parser must never panic, and printing a parsed
+// program must reach a fixpoint — Print(Parse(Print(Parse(src)))) ==
+// Print(Parse(src)). The fixpoint is what makes the printer usable as the
+// annotator's output format: annotated source is reparsed by the compiler
+// pipeline, so print→parse must be lossless.
+func FuzzMinicParse(f *testing.F) {
+	for _, s := range minicSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // keep per-exec cost bounded
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		p1 := Print(prog)
+		prog2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\ninput:\n%s\nprinted:\n%s", err, src, p1)
+		}
+		p2 := Print(prog2)
+		if p1 != p2 {
+			t.Fatalf("print/parse fixpoint broken:\nfirst:\n%s\nsecond:\n%s", p1, p2)
+		}
+	})
+}
+
+// TestPrintParseFixpointSeeds runs the fixpoint property over the seeds
+// directly so it is checked on every ordinary `go test` run too.
+func TestPrintParseFixpointSeeds(t *testing.T) {
+	for i, src := range minicSeeds {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d does not parse: %v", i, err)
+		}
+		p1 := Print(prog)
+		prog2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("seed %d printed form does not reparse: %v\n%s", i, err, p1)
+		}
+		if p2 := Print(prog2); p1 != p2 {
+			t.Fatalf("seed %d fixpoint broken:\n%s\n----\n%s", i, p1, p2)
+		}
+	}
+}

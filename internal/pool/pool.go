@@ -1,0 +1,80 @@
+// Package pool is the bounded worker pool the harness and the schedule
+// explorer fan independent VM runs out on. Determinism is preserved by
+// slotting each result into its job index rather than by arrival order,
+// and by reporting the lowest-indexed error — exactly the run a serial
+// sweep would have failed on first.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested parallelism: n if positive, otherwise
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// onSpawn, when non-nil, is called once per worker goroutine the pool
+// starts. Tests use it to assert the serial fast path never spawns.
+var onSpawn func()
+
+// Run executes the jobs on a pool of at most workers goroutines and
+// returns their results in job order. If any job fails, the error of the
+// lowest-indexed failing job is returned (matching what a serial sweep
+// would have reported) along with the partial results. workers == 1 is a
+// serial fast path: the jobs run on the calling goroutine, stopping at the
+// first error.
+func Run[T any](workers int, jobs []func() (T, error)) ([]T, error) {
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 1 {
+		for i, job := range jobs {
+			res, err := job()
+			if err != nil {
+				return results, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if onSpawn != nil {
+				onSpawn()
+			}
+			for i := range next {
+				results[i], errs[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

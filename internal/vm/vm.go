@@ -69,6 +69,11 @@ type Config struct {
 	MaxTicks uint64 // stop after this many ticks (0 = no limit)
 	Costs    Costs
 	Requests *RequestConfig
+	// Policy, if non-nil, replaces the built-in seeded scheduler
+	// randomization: it is consulted at every decision point (a free core
+	// with two or more runnable threads) and fully determines the
+	// interleaving. See SchedulePolicy.
+	Policy SchedulePolicy
 	// Debug, if non-nil, receives a line per scheduling/kernel event.
 	Debug io.Writer
 }
@@ -150,6 +155,9 @@ type Machine struct {
 	decoded []isa.Instr // indexed by PC; Len==0 means not an instruction start
 
 	curCore *Core // core whose thread is currently executing (for EpochChanged)
+
+	schedSeq    uint64 // decision points consumed so far (policy runs only)
+	runnableBuf []int  // scratch for SchedPoint.Runnable, reused across decisions
 
 	// server workload state
 	reqArrivals map[int]uint64
@@ -272,6 +280,9 @@ type Result struct {
 	Faults     []string
 	Reason     string // "completed", "max-ticks", "stopped", "deadlock"
 	Ticks      uint64
+	// Snapshot holds the final values of the globals a caller requested
+	// via core.RunConfig.SnapshotVars (nil otherwise).
+	Snapshot map[string]int64
 }
 
 // Run executes until all threads finish, MaxTicks elapses, a violation
@@ -394,16 +405,35 @@ func (m *Machine) allDone() bool {
 	return len(m.threads) > 0
 }
 
-// schedule assigns the next runnable thread to core c. With small
-// probability the scheduler picks a random runnable thread instead of the
-// queue head, so different seeds explore different interleavings.
+// schedule assigns the next runnable thread to core c. Under a Config
+// Policy the choice among multiple runnable threads is the policy's;
+// otherwise, with small probability the scheduler picks a random runnable
+// thread instead of the queue head, so different seeds explore different
+// interleavings.
 func (m *Machine) schedule(c *Core) {
 	if len(m.runq) == 0 {
 		return
 	}
 	i := 0
-	if len(m.runq) > 1 && m.rng.Intn(4) == 0 {
-		i = m.rng.Intn(len(m.runq))
+	if len(m.runq) > 1 {
+		if m.cfg.Policy != nil {
+			m.runnableBuf = m.runnableBuf[:0]
+			for _, t := range m.runq {
+				m.runnableBuf = append(m.runnableBuf, t.ID)
+			}
+			i = m.cfg.Policy.Pick(SchedPoint{
+				Seq:      m.schedSeq,
+				Tick:     m.clock,
+				Core:     c.ID,
+				Runnable: m.runnableBuf,
+			})
+			m.schedSeq++
+			if i < 0 || i >= len(m.runq) {
+				i = 0
+			}
+		} else if m.rng.Intn(4) == 0 {
+			i = m.rng.Intn(len(m.runq))
+		}
 	}
 	t := m.runq[i]
 	m.runq = append(m.runq[:i], m.runq[i+1:]...)
