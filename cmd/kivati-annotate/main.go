@@ -3,15 +3,23 @@
 // pseudo-statements, in the style of the paper's Figures 3 and 4), the
 // atomic-region table, and summary statistics.
 //
+// With -lockset it additionally runs the Eraser-style lockset analysis and
+// reports each shared global's candidate lockset and the statically proven
+// (benign) regions that seed the compile-time whitelist; -optimize applies
+// the annotation optimizer (benign drop, dedupe, coalesce). -lint prints a
+// race diagnostic for every written global with no consistent lock, and
+// combined with -strict exits nonzero when any race is found.
+//
 // Usage:
 //
-//	kivati-annotate [-ars] [-lsv] file.mc
+//	kivati-annotate [-ars] [-lsv] [-lockset] [-optimize] [-lint [-strict]] file.mc
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"kivati/internal/analysis"
 	"kivati/internal/annotate"
@@ -23,8 +31,13 @@ func main() {
 	showLSV := flag.Bool("lsv", false, "print each function's list of shared variables")
 	precise := flag.Bool("precise", false, "use the points-to analysis (§3.5 extension)")
 	interproc := flag.Bool("interprocedural", false, "form ARs across subroutine calls (§3.5 extension)")
+	useLockset := flag.Bool("lockset", false, "run the lockset analysis; print candidate locksets and proven-benign regions")
+	optimize := flag.Bool("optimize", false, "drop proven-benign regions and dedupe/coalesce the AR table")
+	lint := flag.Bool("lint", false, "report shared globals with inconsistent lock protection")
+	strict := flag.Bool("strict", false, "with -lint, exit nonzero when any race is reported")
+	roots := flag.String("roots", "", "comma-separated functions assumed callable with no locks held (lockset roots)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: kivati-annotate [-ars] [-lsv] file.mc\n")
+		fmt.Fprintf(os.Stderr, "usage: kivati-annotate [-ars] [-lsv] [-lockset] [-optimize] [-lint [-strict]] file.mc\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,7 +45,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
 	if err != nil {
 		fatal(err)
 	}
@@ -40,10 +54,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ap, err := annotate.AnnotateWithOptions(prog, annotate.Options{
+	opts := annotate.Options{
 		Precise:         *precise,
 		InterProcedural: *interproc,
-	})
+		Lockset:         *useLockset || *lint,
+	}
+	if *roots != "" {
+		opts.Roots = strings.Split(*roots, ",")
+	}
+	if *optimize {
+		opts.Optimize = annotate.OptimizeOptions{DropBenign: true, Dedupe: true, Coalesce: true}
+	}
+	ap, err := annotate.AnnotateWithOptions(prog, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,9 +82,53 @@ func main() {
 		fmt.Println("\n# Atomic regions")
 		fmt.Print(annotate.Describe(ap))
 	}
+	if ap.Locks != nil && *useLockset {
+		fmt.Println("\n# Candidate locksets (locks held at every named access)")
+		for _, g := range prog.Globals {
+			switch {
+			case ap.Locks.SyncVar(g.Name):
+				fmt.Printf("%-20s (lock)\n", g.Name)
+			case ap.Locks.AddressTaken(g.Name):
+				fmt.Printf("%-20s (address taken; not tracked)\n", g.Name)
+			default:
+				cand, ok := ap.Locks.Candidate(g.Name)
+				if !ok {
+					fmt.Printf("%-20s (no named accesses)\n", g.Name)
+					continue
+				}
+				fmt.Printf("%-20s %s\n", g.Name, cand)
+			}
+		}
+		var proven []string
+		for _, ar := range ap.ARs {
+			if ar.Benign() {
+				proven = append(proven, fmt.Sprintf("AR%d %s.%s under %q", ar.ID, ar.Func, ar.Key, ar.Proof))
+			}
+		}
+		fmt.Printf("\n# Statically proven serializable regions (compile-time whitelist): %d\n", len(proven))
+		for _, p := range proven {
+			fmt.Println(p)
+		}
+	}
+	if *optimize {
+		ost := ap.OptStats
+		fmt.Printf("\n# Optimizer: %d regions in, %d out (-%d benign, -%d covered, -%d coalesced)\n",
+			ost.Input, ost.Output, ost.Benign, ost.Deduped, ost.Coalesced)
+	}
 	st := ap.Stats()
 	fmt.Printf("\n# %d functions, %d atomic regions on %d shared variables\n",
 		st.Funcs, st.ARs, st.SharedVars)
+
+	if *lint {
+		races := ap.Locks.Races()
+		fmt.Printf("\n# Lint: %d race(s)\n", len(races))
+		for _, r := range races {
+			fmt.Printf("%s: %s\n", file, r)
+		}
+		if *strict && len(races) > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //	kivati-bench -all                # every table and figure
 //	kivati-bench -table 3            # one table (1-9)
 //	kivati-bench -figure 7           # Figure 7
+//	kivati-bench -ablation           # trained vs. static (lockset) whitelist
 //	kivati-bench -all -scale 0.5     # larger workloads
 //	kivati-bench -all -parallel 8    # fan runs out over 8 workers
 //	kivati-bench -all -json          # machine-readable report on stdout
@@ -56,9 +57,11 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-9)")
 	figure := flag.Int("figure", 0, "regenerate one figure (7)")
 	all := flag.Bool("all", false, "regenerate everything")
+	ablation := flag.Bool("ablation", false, "run the trained-vs-static whitelist ablation")
 	scale := flag.Float64("scale", 0.25, "workload scale (1.0 = full benchmark)")
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	iters := flag.Int("train-iters", 7, "Figure 7 training iterations")
+	ablIters := flag.Int("ablation-iters", 10, "training iterations in the ablation")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of rendered tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -66,7 +69,7 @@ func main() {
 	flag.Parse()
 
 	o := harness.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel}
-	if !*all && *table == 0 && *figure == 0 {
+	if !*all && *table == 0 && *figure == 0 && !*ablation {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -178,6 +181,15 @@ func main() {
 			check(fmt.Errorf("no table %d", n))
 		}
 	}
+	runAblation := func() {
+		run("ablation", func() (any, string, error) {
+			rows, err := harness.RunAblation(o, *ablIters)
+			if err != nil {
+				return nil, "", err
+			}
+			return rows, harness.FormatAblation(rows), nil
+		})
+	}
 	runFigure := func(n int) {
 		switch n {
 		case 7:
@@ -200,12 +212,16 @@ func main() {
 			runTable(n)
 		}
 		runFigure(7)
+		runAblation()
 	default:
 		if *table != 0 {
 			runTable(*table)
 		}
 		if *figure != 0 {
 			runFigure(*figure)
+		}
+		if *ablation {
+			runAblation()
 		}
 	}
 	rep.TotalSeconds = time.Since(sweepStart).Seconds()

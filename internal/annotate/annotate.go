@@ -16,6 +16,7 @@ import (
 	"kivati/internal/cfg"
 	"kivati/internal/hw"
 	"kivati/internal/interleave"
+	"kivati/internal/lockset"
 	"kivati/internal/minic"
 )
 
@@ -33,7 +34,20 @@ type AR struct {
 
 	FirstNode  *cfg.Node
 	SecondNode *cfg.Node
+	// FirstIdx and SecondIdx index the anchoring accesses within their
+	// nodes' ordered shared-access lists, so overlapping ARs on the same
+	// variable can be recognized as sharing an exact access.
+	FirstIdx  int
+	SecondIdx int
+	// Proof names the lock the lockset analysis proved (a) held across the
+	// whole region and (b) held at every access to the variable anywhere in
+	// the program — making the region statically serializable. Empty when
+	// unproven or when the analysis did not run.
+	Proof string
 }
+
+// Benign reports whether the region carries a static serializability proof.
+func (ar *AR) Benign() bool { return ar.Proof != "" }
 
 func (ar *AR) String() string {
 	return fmt.Sprintf("AR%d %s.%s %v-%v watch=%v", ar.ID, ar.Func, ar.Key, ar.First, ar.Second, ar.Watch)
@@ -55,6 +69,27 @@ type Program struct {
 	Prog  *minic.Program
 	Funcs []*FuncAnnotations
 	ARs   []*AR // all ARs; ARs[i].ID == i+1
+
+	// Locks is the whole-program lockset analysis result, when
+	// Options.Lockset ran.
+	Locks *lockset.Info
+	// Opts records the options the annotator ran with.
+	Opts Options
+	// OptStats summarizes what the optimizer did (zero when disabled).
+	OptStats OptStats
+}
+
+// StaticWhitelistIDs returns the IDs of the ARs whose serializability the
+// lockset analysis proved — the compile-time replacement for Figure 7
+// training. Nil when the lockset analysis did not run.
+func (p *Program) StaticWhitelistIDs() []int {
+	var ids []int
+	for _, ar := range p.ARs {
+		if ar.Benign() {
+			ids = append(ids, ar.ID)
+		}
+	}
+	return ids
 }
 
 // ByID returns the AR with the given ID, or nil.
@@ -91,6 +126,22 @@ type Options struct {
 	// transitively touches, so atomic regions form across subroutine
 	// boundaries (a caller-side check paired with a helper's update).
 	InterProcedural bool
+	// Lockset runs the Eraser-style must-lockset analysis and records a
+	// static serializability proof (AR.Proof) on every region it covers.
+	// Implied by Optimize.DropBenign.
+	Lockset bool
+	// Roots names extra thread entry points for the lockset analysis's
+	// calling-context fixpoint (functions a host starts directly).
+	Roots []string
+	// Optimize configures the annotation optimizer.
+	Optimize OptimizeOptions
+}
+
+// Key renders the options as a canonical string for use in cache keys.
+func (o Options) Key() string {
+	return fmt.Sprintf("precise=%t,inter=%t,lockset=%t,roots=%s,benign=%t,dedupe=%t,coalesce=%t",
+		o.Precise, o.InterProcedural, o.Lockset, strings.Join(o.Roots, "+"),
+		o.Optimize.DropBenign, o.Optimize.Dedupe, o.Optimize.Coalesce)
 }
 
 // Annotate runs the static annotator over prog with the paper-prototype
@@ -114,7 +165,10 @@ func AnnotateWithOptions(prog *minic.Program, opts Options) (*Program, error) {
 			return analysis.CallAccesses(prog, effects, n)
 		}
 	}
-	nextID := 1
+	if opts.Optimize.DropBenign {
+		opts.Lockset = true
+	}
+	out.Opts = opts
 	for _, fn := range prog.Funcs {
 		g := cfg.Build(fn)
 		var lsv map[string]bool
@@ -155,7 +209,6 @@ func AnnotateWithOptions(prog *minic.Program, opts Options) (*Program, error) {
 			first := toHW(p.FirstType)
 			second := toHW(p.SecondType)
 			ar := &AR{
-				ID:         nextID,
 				Func:       fn.Name,
 				Key:        p.Key,
 				Target:     p.FirstLvalue,
@@ -165,13 +218,45 @@ func AnnotateWithOptions(prog *minic.Program, opts Options) (*Program, error) {
 				Watch:      interleave.WatchType(first, second),
 				FirstNode:  p.FirstNode,
 				SecondNode: p.SecondNode,
+				FirstIdx:   p.FirstIdx,
+				SecondIdx:  p.SecondIdx,
 			}
-			nextID++
 			out.ARs = append(out.ARs, ar)
-			fa.Begin[p.FirstNode] = append(fa.Begin[p.FirstNode], ar)
-			fa.End[p.SecondNode] = append(fa.End[p.SecondNode], ar)
 		}
 		out.Funcs = append(out.Funcs, fa)
+	}
+
+	if opts.Lockset {
+		graphs := make(map[string]*cfg.Graph, len(out.Funcs))
+		for _, fa := range out.Funcs {
+			graphs[fa.Fn.Name] = fa.Graph
+		}
+		out.Locks = lockset.Compute(prog, graphs, lockset.Options{Roots: opts.Roots})
+		for _, ar := range out.ARs {
+			if ar.Key.Deref {
+				continue
+			}
+			if lk, ok := out.Locks.ProveRegion(ar.Func, ar.Key.Name, ar.FirstNode, ar.SecondNode); ok {
+				ar.Proof = lk
+			}
+		}
+	}
+	if opts.Optimize.Any() {
+		out.ARs, out.OptStats = optimize(out, opts.Optimize)
+	}
+
+	// IDs are assigned only now, after classification and optimization, so
+	// the table stays dense (ARs[i].ID == i+1) and the begin/end annotation
+	// maps only carry surviving regions.
+	byFunc := map[string]*FuncAnnotations{}
+	for _, fa := range out.Funcs {
+		byFunc[fa.Fn.Name] = fa
+	}
+	for i, ar := range out.ARs {
+		ar.ID = i + 1
+		fa := byFunc[ar.Func]
+		fa.Begin[ar.FirstNode] = append(fa.Begin[ar.FirstNode], ar)
+		fa.End[ar.SecondNode] = append(fa.End[ar.SecondNode], ar)
 	}
 	return out, nil
 }

@@ -1,0 +1,234 @@
+package annotate
+
+import (
+	"testing"
+
+	"kivati/internal/hw"
+	"kivati/internal/minic"
+)
+
+func annotateSrc(t *testing.T, src string, opts Options) *Program {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := AnnotateWithOptions(prog, opts)
+	if err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	return p
+}
+
+func countOn(p *Program, fn, name string) int {
+	n := 0
+	for _, ar := range p.ARs {
+		if ar.Func == fn && ar.Key.Name == name && !ar.Key.Deref {
+			n++
+		}
+	}
+	return n
+}
+
+// A straight two-increment chain produces the all-pairs table; dedupe plus
+// coalesce must collapse it while keeping the un-coverable W-W pair (it
+// watches remote reads, which the R/W sub-pairs do not).
+const chainSrc = `
+int counter;
+void work() {
+  counter = counter + 1;
+  counter = counter + 1;
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`
+
+func TestDedupeAndCoalesceCollapseChain(t *testing.T) {
+	base := annotateSrc(t, chainSrc, Options{})
+	if got := countOn(base, "work", "counter"); got != 6 {
+		t.Fatalf("base ARs on work.counter = %d, want 6 (all pairs over R,W,R,W)", got)
+	}
+	opt := annotateSrc(t, chainSrc, Options{
+		Optimize: OptimizeOptions{Dedupe: true, Coalesce: true},
+	})
+	got := countOn(opt, "work", "counter")
+	if got >= 6 || got < 1 {
+		t.Fatalf("optimized ARs on work.counter = %d, want a real reduction from 6", got)
+	}
+	// The W-W pair watches remote reads; every other pair watches only
+	// writes, so no combination of them covers it and it must survive.
+	foundWW := false
+	for _, ar := range opt.ARs {
+		if ar.Func == "work" && ar.Key.Name == "counter" &&
+			ar.First == hw.Write && ar.Second == hw.Write && ar.Watch == hw.Read {
+			foundWW = true
+		}
+	}
+	if !foundWW {
+		t.Error("optimizer dropped the W-W pair (watch=R); its sub-pairs only watch writes")
+	}
+	if opt.OptStats.Input != len(base.ARs) {
+		t.Errorf("OptStats.Input = %d, want %d", opt.OptStats.Input, len(base.ARs))
+	}
+	if opt.OptStats.Output != len(opt.ARs) {
+		t.Errorf("OptStats.Output = %d, table has %d", opt.OptStats.Output, len(opt.ARs))
+	}
+}
+
+// The W-R-W pattern in one function: the long W..W pair watches reads and
+// must not be deduped against its write-watching halves, nor may the halves
+// coalesce (the merged endpoints' watch type would not be covered).
+const wrwSrc = `
+int x;
+void work() {
+  int t;
+  x = 1;
+  t = x;
+  x = 2;
+  print(t);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`
+
+func TestWRWLongPairSurvives(t *testing.T) {
+	opt := annotateSrc(t, wrwSrc, Options{
+		Optimize: OptimizeOptions{Dedupe: true, Coalesce: true},
+	})
+	found := false
+	for _, ar := range opt.ARs {
+		if ar.Func == "work" && ar.Key.Name == "x" &&
+			ar.First == hw.Write && ar.Second == hw.Write {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("W-W pair on x missing after optimization:\n%s", Describe(opt))
+	}
+}
+
+// Consistently lock-protected accesses yield serializability proofs; with
+// DropBenign the regions disappear, without it they are whitelisted.
+const protectedSrc = `
+int m;
+int counter;
+void work() {
+  lock(m);
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`
+
+func TestBenignProofsAndDrop(t *testing.T) {
+	classified := annotateSrc(t, protectedSrc, Options{Lockset: true})
+	ids := classified.StaticWhitelistIDs()
+	if len(ids) == 0 {
+		t.Fatal("no static whitelist IDs on a consistently locked counter")
+	}
+	for _, id := range ids {
+		ar := classified.ByID(id)
+		if ar == nil || ar.Proof != "m" {
+			t.Fatalf("whitelisted AR %d has proof %q, want m", id, ar.Proof)
+		}
+	}
+	dropped := annotateSrc(t, protectedSrc, Options{Optimize: OptimizeOptions{DropBenign: true}})
+	if got := countOn(dropped, "work", "counter"); got != 0 {
+		t.Errorf("DropBenign left %d ARs on the proven counter", got)
+	}
+	if dropped.OptStats.Benign == 0 {
+		t.Error("OptStats.Benign = 0 after dropping proven regions")
+	}
+	// DropBenign implies the lockset analysis.
+	if dropped.Locks == nil {
+		t.Error("DropBenign build has no lockset info")
+	}
+}
+
+// Racy variables (no common lock) must never be proven or dropped.
+func TestUnprotectedNeverDropped(t *testing.T) {
+	base := annotateSrc(t, chainSrc, Options{})
+	opt := annotateSrc(t, chainSrc, Options{Lockset: true, Optimize: OptimizeOptions{DropBenign: true}})
+	if len(opt.ARs) != len(base.ARs) {
+		t.Errorf("DropBenign changed the AR count on an unprotected chain: %d -> %d",
+			len(base.ARs), len(opt.ARs))
+	}
+	if got := len(opt.StaticWhitelistIDs()); got != 0 {
+		t.Errorf("static whitelist has %d entries for a racy counter, want 0", got)
+	}
+}
+
+// After optimization, IDs must stay dense and the begin/end maps must carry
+// exactly the surviving regions.
+func TestOptimizedIDsDenseAndMapsConsistent(t *testing.T) {
+	for _, opts := range []Options{
+		{},
+		{Lockset: true},
+		{Optimize: OptimizeOptions{Dedupe: true}},
+		{Optimize: OptimizeOptions{DropBenign: true, Dedupe: true, Coalesce: true}},
+	} {
+		p := annotateSrc(t, wrwSrc, opts)
+		for i, ar := range p.ARs {
+			if ar.ID != i+1 {
+				t.Fatalf("opts %+v: ARs[%d].ID = %d, want %d", opts, i, ar.ID, i+1)
+			}
+			if p.ByID(ar.ID) != ar {
+				t.Fatalf("opts %+v: ByID(%d) mismatch", opts, ar.ID)
+			}
+		}
+		seen := map[int]bool{}
+		for _, fa := range p.Funcs {
+			for n, ars := range fa.Begin {
+				for _, ar := range ars {
+					if ar.FirstNode != n {
+						t.Fatalf("Begin map anchors AR%d at the wrong node", ar.ID)
+					}
+					seen[ar.ID] = true
+				}
+			}
+			for n, ars := range fa.End {
+				for _, ar := range ars {
+					if ar.SecondNode != n {
+						t.Fatalf("End map anchors AR%d at the wrong node", ar.ID)
+					}
+				}
+			}
+		}
+		if len(seen) != len(p.ARs) {
+			t.Fatalf("opts %+v: begin maps carry %d ARs, table has %d", opts, len(seen), len(p.ARs))
+		}
+	}
+}
+
+// Options.Key must separate every configuration that changes the AR table.
+func TestOptionsKeyDistinguishesConfigurations(t *testing.T) {
+	opts := []Options{
+		{},
+		{Precise: true},
+		{InterProcedural: true},
+		{Lockset: true},
+		{Lockset: true, Roots: []string{"worker"}},
+		{Optimize: OptimizeOptions{DropBenign: true}},
+		{Optimize: OptimizeOptions{Dedupe: true}},
+		{Optimize: OptimizeOptions{Coalesce: true}},
+		{Optimize: OptimizeOptions{DropBenign: true, Dedupe: true, Coalesce: true}},
+	}
+	seen := map[string]int{}
+	for i, o := range opts {
+		k := o.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("options %d and %d share cache key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}

@@ -1,0 +1,82 @@
+package bugs
+
+import (
+	"testing"
+
+	"kivati/internal/annotate"
+	"kivati/internal/minic"
+)
+
+// TestOptimizerKeepsBugVarCoverage is the property behind the optimizer's
+// soundness on the corpus: for every bug and witness variable of every
+// fixture — the racy variables and the witness observables the differential
+// oracle snapshots — the optimizer must keep at least one atomic region per
+// (function, variable) that the base annotator covered, and must never
+// claim a static serializability proof on them: these variables are racy by
+// construction, so no common lock can protect all their accesses.
+func TestOptimizerKeepsBugVarCoverage(t *testing.T) {
+	opts := annotate.Options{
+		Lockset: true,
+		Optimize: annotate.OptimizeOptions{
+			DropBenign: true,
+			Dedupe:     true,
+			Coalesce:   true,
+		},
+	}
+	covered := func(p *annotate.Program, vars map[string]bool) map[[2]string]bool {
+		out := map[[2]string]bool{}
+		for _, ar := range p.ARs {
+			if vars[ar.Key.Name] && !ar.Key.Deref {
+				out[[2]string{ar.Func, ar.Key.Name}] = true
+			}
+		}
+		return out
+	}
+	for _, b := range Corpus() {
+		for _, src := range []struct{ name, text string }{
+			{"source", b.Source},
+			{"fixture", b.ExploreSource},
+		} {
+			if src.text == "" {
+				continue
+			}
+			prog, err := minic.Parse(src.text)
+			if err != nil {
+				t.Fatalf("%s/%s %s: parse: %v", b.App, b.ID, src.name, err)
+			}
+			vars := map[string]bool{}
+			for _, v := range b.BugVars {
+				vars[v] = true
+			}
+			for _, v := range b.SnapshotVars {
+				vars[v] = true
+			}
+			base, err := annotate.Annotate(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optz, err := annotate.AnnotateWithOptions(prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if optz.OptStats.Input != len(base.ARs) {
+				t.Errorf("%s/%s %s: optimizer saw %d ARs, base has %d",
+					b.App, b.ID, src.name, optz.OptStats.Input, len(base.ARs))
+			}
+			baseCov := covered(base, vars)
+			optCov := covered(optz, vars)
+			for fv := range baseCov {
+				if !optCov[fv] {
+					t.Errorf("%s/%s %s: optimizer dropped all ARs on %s.%s",
+						b.App, b.ID, src.name, fv[0], fv[1])
+				}
+			}
+			for _, ar := range optz.ARs {
+				if vars[ar.Key.Name] && !ar.Key.Deref && ar.Benign() {
+					t.Errorf("%s/%s %s: benign proof %q on racy variable %s.%s",
+						b.App, b.ID, src.name, ar.Proof, ar.Func, ar.Key)
+				}
+			}
+		}
+	}
+}

@@ -97,6 +97,25 @@ func (p *Program) SyncVarWhitelist(extraNames ...string) (*whitelist.Whitelist, 
 	return wl, nil
 }
 
+// StaticWhitelist returns the compile-time whitelist: the sync-variable
+// whitelist plus every AR whose serializability the lockset analysis proved
+// (the static replacement for the Figure 7 training loop — the runtime path
+// is unchanged, only the whitelist's provenance differs). The program must
+// have been built with annotate.Options.Lockset set.
+func (p *Program) StaticWhitelist(extraNames ...string) (*whitelist.Whitelist, error) {
+	if p.Annotated.Locks == nil {
+		return nil, fmt.Errorf("core: program was built without the lockset analysis")
+	}
+	wl, err := p.SyncVarWhitelist(extraNames...)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range p.Annotated.StaticWhitelistIDs() {
+		wl.Add(id)
+	}
+	return wl, nil
+}
+
 // Start names a thread entry point and its argument.
 type Start struct {
 	Fn  string

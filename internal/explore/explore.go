@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"kivati/internal/annotate"
 	"kivati/internal/bugs"
 	"kivati/internal/core"
 	"kivati/internal/kernel"
@@ -94,6 +95,11 @@ type Options struct {
 	// monitored; set it to 4 to observe the pressure effects instead.
 	Watchpoints int
 	Parallelism int // worker pool size (0 = GOMAXPROCS)
+	// Annotate selects the annotator configuration the subject is built
+	// with — the oracle's lever for checking the lockset-based annotation
+	// optimizer: enabling its passes here must leave prevention-mode
+	// divergences at zero.
+	Annotate annotate.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -172,7 +178,7 @@ type campaign struct {
 }
 
 func newCampaign(subject *Subject, opts Options) (*campaign, error) {
-	prog, err := core.Build(subject.Source)
+	prog, err := core.BuildWithOptions(subject.Source, opts.Annotate)
 	if err != nil {
 		return nil, fmt.Errorf("explore: %s: %w", subject.Name, err)
 	}

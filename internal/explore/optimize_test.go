@@ -1,0 +1,57 @@
+package explore
+
+import (
+	"testing"
+
+	"kivati/internal/annotate"
+	"kivati/internal/bugs"
+)
+
+// optimizerOptions is the full lockset-based annotation optimizer, as the
+// production pipeline enables it (kivati.Analysis{Optimize: true}).
+func optimizerOptions() annotate.Options {
+	return annotate.Options{
+		Lockset: true,
+		Optimize: annotate.OptimizeOptions{
+			DropBenign: true,
+			Dedupe:     true,
+			Coalesce:   true,
+		},
+	}
+}
+
+// TestCorpusDifferentialOptimized is the soundness gate for the annotation
+// optimizer: re-running the differential oracle with every optimizer pass
+// enabled, the bug must still manifest in the vanilla build (the fixture is
+// unchanged) and prevention mode must still diverge on NO schedule — the
+// optimizer may only ever drop or merge regions whose prevention coverage
+// is subsumed by what remains.
+func TestCorpusDifferentialOptimized(t *testing.T) {
+	n := corpusSchedules(t)
+	for _, b := range bugs.Corpus() {
+		b := b
+		t.Run(b.App+"_"+b.ID, func(t *testing.T) {
+			t.Parallel()
+			subject, err := BugSubject(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{Strategy: Random, Schedules: n, Seed: 1, Annotate: optimizerOptions()}
+			d, err := Differential(subject, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, v := range d.Serial {
+				if v != 0 {
+					t.Errorf("serial %s = %d, want 0 (witnesses must be silent serially)", name, v)
+				}
+			}
+			if d.VanillaDivergences() == 0 {
+				t.Errorf("vanilla: 0/%d schedules diverged; the bug never manifested", n)
+			}
+			if got := d.PreventionDivergences(); got != 0 {
+				t.Errorf("prevention with optimizer: %d/%d schedules diverged from serial — unsound optimization", got, n)
+			}
+		})
+	}
+}

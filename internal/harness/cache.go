@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kivati/internal/annotate"
 	"kivati/internal/core"
 	"kivati/internal/workloads"
 )
@@ -17,12 +18,14 @@ import (
 
 // buildKey identifies one build product. The source text participates so
 // that the same workload at different scales (the generators bake the
-// scale into the program text) — or a future precise-analysis variant —
-// never collide.
+// scale into the program text) never collides, and the canonical annotator
+// options string (annotate.Options.Key) participates so that builds with
+// different lockset/optimizer settings never share an AR table — a stale
+// hit across optimizer settings would silently mix AR IDs and whitelists.
 type buildKey struct {
 	name    string
 	source  string
-	precise bool
+	options string
 }
 
 // buildEntry is a once-guarded cache slot: the first requester builds,
@@ -71,14 +74,21 @@ func (c *BuildCache) entry(key buildKey) *buildEntry {
 	return e
 }
 
-// prepare returns the memoized appRun for spec, building it on first use.
+// prepare returns the memoized appRun for spec, building it on first use
+// with the paper-prototype annotator options.
 func (c *BuildCache) prepare(spec *workloads.Spec) (*appRun, error) {
-	e := c.entry(buildKey{name: spec.Name, source: spec.Source})
+	return c.prepareWithOptions(spec, annotate.Options{})
+}
+
+// prepareWithOptions is prepare for a specific annotator configuration;
+// each (workload, source, options) combination builds exactly once.
+func (c *BuildCache) prepareWithOptions(spec *workloads.Spec, opts annotate.Options) (*appRun, error) {
+	e := c.entry(buildKey{name: spec.Name, source: spec.Source, options: opts.Key()})
 	hit := true
 	e.once.Do(func() {
 		hit = false
 		c.misses.Add(1)
-		e.app, e.err = prepare(spec)
+		e.app, e.err = prepareWithOptions(spec, opts)
 	})
 	if hit {
 		c.hits.Add(1)
@@ -90,12 +100,17 @@ func (c *BuildCache) prepare(spec *workloads.Spec) (*appRun, error) {
 // bug corpus), building it on first use. No whitelist is derived; the
 // stored appRun carries only the program.
 func (c *BuildCache) program(name, source string) (*core.Program, error) {
-	e := c.entry(buildKey{name: name, source: source})
+	return c.programWithOptions(name, source, annotate.Options{})
+}
+
+// programWithOptions is program for a specific annotator configuration.
+func (c *BuildCache) programWithOptions(name, source string, opts annotate.Options) (*core.Program, error) {
+	e := c.entry(buildKey{name: name, source: source, options: opts.Key()})
 	hit := true
 	e.once.Do(func() {
 		hit = false
 		c.misses.Add(1)
-		p, err := core.Build(source)
+		p, err := core.BuildWithOptions(source, opts)
 		if err != nil {
 			e.err = err
 			return

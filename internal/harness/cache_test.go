@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 
+	"kivati/internal/annotate"
+	"kivati/internal/core"
 	"kivati/internal/workloads"
 )
 
@@ -148,5 +150,49 @@ func TestBuildCacheDistinctSourcesSameName(t *testing.T) {
 	}
 	if _, misses := BuildCacheStats(); misses != 4 {
 		t.Errorf("misses=%d, want 4", misses)
+	}
+}
+
+// TestBuildCacheDistinctOptionsSameSource: annotation options change the AR
+// table (and thus every downstream measurement), so they are part of the
+// cache key. The base and optimizer builds of one workload must not share an
+// entry, and repeating either configuration must hit.
+func TestBuildCacheDistinctOptionsSameSource(t *testing.T) {
+	ResetBuildCache()
+	defer ResetBuildCache()
+
+	spec := &workloads.Spec{
+		Name:   "optclash",
+		Source: "int a;\nvoid w() { a = a + 1; a = a + 1; }\nvoid main() { spawn(w, 0); w(); }",
+		Starts: []core.Start{{Fn: "main"}},
+	}
+	optOpts := annotate.Options{
+		Lockset:  true,
+		Optimize: annotate.OptimizeOptions{DropBenign: true, Dedupe: true, Coalesce: true},
+	}
+	base, err := sharedCache.prepareWithOptions(spec, annotate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optz, err := sharedCache.prepareWithOptions(spec, optOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == optz {
+		t.Fatal("base and optimizer builds shared one cache entry")
+	}
+	if len(optz.prog.Annotated.ARs) >= len(base.prog.Annotated.ARs) {
+		t.Errorf("optimizer build has %d ARs, base %d; want a reduction",
+			len(optz.prog.Annotated.ARs), len(base.prog.Annotated.ARs))
+	}
+	again, err := sharedCache.prepareWithOptions(spec, optOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != optz {
+		t.Error("identical (name, source, options) rebuilt instead of hitting")
+	}
+	if hits, misses := BuildCacheStats(); hits != 1 || misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 1/2", hits, misses)
 	}
 }

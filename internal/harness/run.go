@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"kivati/internal/annotate"
 	"kivati/internal/core"
 	"kivati/internal/kernel"
 	"kivati/internal/vm"
@@ -23,7 +24,18 @@ type appRun struct {
 
 // prepare builds a workload's program and its sync-var whitelist once.
 func prepare(spec *workloads.Spec) (*appRun, error) {
-	p, err := core.Build(spec.Source)
+	return prepareWithOptions(spec, annotate.Options{})
+}
+
+// prepareWithOptions is prepare under a specific annotator configuration.
+// The workload's thread entry points become lockset analysis roots, so
+// functions only ever started by the harness are still treated as running
+// without their callers' locks.
+func prepareWithOptions(spec *workloads.Spec, opts annotate.Options) (*appRun, error) {
+	for _, s := range spec.Starts {
+		opts.Roots = append(opts.Roots, s.Fn)
+	}
+	p, err := core.BuildWithOptions(spec.Source, opts)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}

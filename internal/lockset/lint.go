@@ -1,0 +1,137 @@
+package lockset
+
+import (
+	"fmt"
+	"strings"
+
+	"kivati/internal/analysis"
+	"kivati/internal/minic"
+)
+
+// RaceAccess is one side of an offending access pair in a race diagnostic.
+type RaceAccess struct {
+	Func  string
+	Type  uint8 // minic.AccRead or minic.AccWrite
+	Pos   minic.Pos
+	Locks Set // locks provably held at the access
+}
+
+func (a RaceAccess) kind() string {
+	if a.Type == minic.AccWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Race is an Eraser-style static diagnostic: a written shared global whose
+// accesses hold no common lock, with a concrete pair of accesses whose
+// locksets are disjoint.
+type Race struct {
+	Var           string
+	Accesses      int // named accesses program-wide
+	First, Second RaceAccess
+}
+
+// String renders the diagnostic; positions are line:col into the source the
+// analysis ran over.
+func (r Race) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "race: global %q: no lock protects all %d accesses\n", r.Var, r.Accesses)
+	fmt.Fprintf(&b, "  %s at %s in %s holds %s\n", r.First.kind(), r.First.Pos, r.First.Func, r.First.Locks)
+	fmt.Fprintf(&b, "  %s at %s in %s holds %s", r.Second.kind(), r.Second.Pos, r.Second.Func, r.Second.Locks)
+	return b.String()
+}
+
+// Races reports every written global whose candidate lockset is empty —
+// i.e. no single lock is held at all of its accesses — along with the
+// earliest pair of accesses with provably disjoint locksets. Globals used
+// only as lock operands and globals that are never written are skipped
+// (read sharing is trivially serializable). Order follows the program's
+// global declarations.
+func (i *Info) Races() []Race {
+	var out []Race
+	for _, g := range i.Prog.Globals {
+		if i.syncVars[g.Name] {
+			continue
+		}
+		accs := i.globalAccesses(g.Name)
+		if len(accs) < 2 {
+			continue
+		}
+		wrote := false
+		for _, a := range accs {
+			if a.Type == minic.AccWrite {
+				wrote = true
+				break
+			}
+		}
+		if !wrote {
+			continue
+		}
+		cand := Top()
+		for _, a := range accs {
+			cand = cand.Intersect(a.Locks)
+		}
+		if !cand.IsEmpty() {
+			continue
+		}
+		// Walk the running intersection to the first access that empties
+		// it, then pick the earliest earlier access pairwise-disjoint with
+		// it: the two ends of a concrete unprotected conflict.
+		cur := accs[0].Locks
+		second := 1
+		for ; second < len(accs); second++ {
+			if cur.IsEmpty() {
+				break
+			}
+			cur = cur.Intersect(accs[second].Locks)
+			if cur.IsEmpty() {
+				break
+			}
+		}
+		if second == len(accs) {
+			second = len(accs) - 1
+		}
+		first := 0
+		for j := 0; j < second; j++ {
+			if accs[j].Locks.Intersect(accs[second].Locks).IsEmpty() {
+				first = j
+				break
+			}
+		}
+		out = append(out, Race{
+			Var:      g.Name,
+			Accesses: len(accs),
+			First:    accs[first],
+			Second:   accs[second],
+		})
+	}
+	return out
+}
+
+// globalAccesses collects every named access to the global in program
+// order (declaration order of functions, node order, evaluation order),
+// with the locks held across the access's node.
+func (i *Info) globalAccesses(name string) []RaceAccess {
+	var out []RaceAccess
+	for _, fname := range i.order {
+		fi := i.Funcs[fname]
+		if fi.shadowed[name] {
+			continue
+		}
+		for _, n := range fi.Graph.Nodes {
+			for _, a := range analysis.NodeAccesses(n) {
+				if a.Key.Deref || a.Key.Name != name {
+					continue
+				}
+				out = append(out, RaceAccess{
+					Func:  fname,
+					Type:  a.Type,
+					Pos:   analysis.ExprPos(a.Lvalue),
+					Locks: fi.held[n.ID],
+				})
+			}
+		}
+	}
+	return out
+}

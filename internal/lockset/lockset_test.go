@@ -1,0 +1,439 @@
+package lockset
+
+import (
+	"testing"
+
+	"kivati/internal/analysis"
+	"kivati/internal/cfg"
+	"kivati/internal/minic"
+)
+
+func compute(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Compute(prog, nil, Options{})
+}
+
+func TestSetOps(t *testing.T) {
+	a := Of("m1", "m2")
+	b := Of("m2", "m3")
+	if got := a.Intersect(b); !got.Equal(Of("m2")) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(Of("m1", "m2", "m3")) {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Subtract(b); !got.Equal(Of("m1")) {
+		t.Errorf("subtract = %v", got)
+	}
+	if got := Top().Intersect(a); !got.Equal(a) {
+		t.Errorf("top ∩ a = %v", got)
+	}
+	if got := Top().Union(a); !got.IsTop() {
+		t.Errorf("top ∪ a = %v", got)
+	}
+	if got := a.Subtract(Top()); !got.IsEmpty() {
+		t.Errorf("a − top = %v", got)
+	}
+	if got := Top().Remove("m1"); !got.IsTop() {
+		t.Errorf("top − m1 = %v", got)
+	}
+	if Of().IsTop() || !Of().IsEmpty() {
+		t.Error("Of() should be the empty set")
+	}
+}
+
+func TestProtectedCounter(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void work() {
+  lock(m);
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`)
+	cand, ok := info.Candidate("counter")
+	if !ok || !cand.Has("m") {
+		t.Fatalf("candidate(counter) = %v, %v; want {m}", cand, ok)
+	}
+	if races := info.Races(); len(races) != 0 {
+		t.Fatalf("unexpected races: %v", races)
+	}
+}
+
+func TestUnprotectedAccessEmptiesCandidate(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void work() {
+  lock(m);
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  counter = 0;
+  return 0;
+}
+`)
+	cand, _ := info.Candidate("counter")
+	if !cand.IsEmpty() {
+		t.Fatalf("candidate(counter) = %v; want {}", cand)
+	}
+	races := info.Races()
+	if len(races) != 1 || races[0].Var != "counter" {
+		t.Fatalf("races = %v; want one on counter", races)
+	}
+	r := races[0]
+	if r.First.Locks.Intersect(r.Second.Locks).IsEmpty() == false {
+		t.Fatalf("offending pair locksets not disjoint: %v / %v", r.First.Locks, r.Second.Locks)
+	}
+	if r.First.Pos.Line == 0 || r.Second.Pos.Line == 0 {
+		t.Fatalf("diagnostic lost positions: %+v", r)
+	}
+}
+
+// A callee called only with the lock held inherits it via its calling
+// context, so its accesses count as protected.
+func TestInterproceduralContext(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void bump() {
+  counter = counter + 1;
+}
+void work() {
+  lock(m);
+  bump();
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`)
+	cand, _ := info.Candidate("counter")
+	if !cand.Has("m") {
+		t.Fatalf("candidate(counter) = %v; want {m}", cand)
+	}
+	if races := info.Races(); len(races) != 0 {
+		t.Fatalf("unexpected races: %v", races)
+	}
+}
+
+// A callee that is also a spawn target runs with no locks: its context must
+// fall to empty even if one call site holds the lock.
+func TestSpawnTargetContextIsEmpty(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void bump() {
+  counter = counter + 1;
+}
+int main() {
+  spawn(bump, 0);
+  lock(m);
+  bump();
+  unlock(m);
+  return 0;
+}
+`)
+	cand, _ := info.Candidate("counter")
+	if !cand.IsEmpty() {
+		t.Fatalf("candidate(counter) = %v; want {} (bump also runs as a thread)", cand)
+	}
+}
+
+// A callee that releases the lock must clobber it in the caller's lockset
+// after the call.
+func TestCalleeMayReleaseSummary(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void helper() {
+  unlock(m);
+}
+void work() {
+  lock(m);
+  helper();
+  counter = counter + 1;
+  lock(m);
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`)
+	cand, _ := info.Candidate("counter")
+	if !cand.IsEmpty() {
+		t.Fatalf("candidate(counter) = %v; want {} (access after helper() unprotected)", cand)
+	}
+}
+
+// A callee that always takes the lock contributes it after the call.
+func TestCalleeMustAcquireSummary(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void acquire() {
+  lock(m);
+}
+void work() {
+  acquire();
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`)
+	cand, _ := info.Candidate("counter")
+	if !cand.Has("m") {
+		t.Fatalf("candidate(counter) = %v; want {m}", cand)
+	}
+}
+
+// Unlocking through a pointer can release anything: every tracked lock must
+// be dropped.
+func TestUnlockThroughPointerClobbersAll(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void work(int which) {
+  int *p;
+  p = &m;
+  lock(m);
+  unlock(*p);
+  counter = counter + 1;
+}
+int main() {
+  spawn(work, 0);
+  work(0);
+  return 0;
+}
+`)
+	cand, _ := info.Candidate("counter")
+	if !cand.IsEmpty() {
+		t.Fatalf("candidate(counter) = %v; want {} (aliased unlock)", cand)
+	}
+}
+
+// A local shadowing a global lock names a stack address, not the global
+// lock: taking it must not count as holding the global.
+func TestShadowedLockIgnored(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void work() {
+  int m;
+  m = 0;
+  lock(m);
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`)
+	cand, _ := info.Candidate("counter")
+	if !cand.IsEmpty() {
+		t.Fatalf("candidate(counter) = %v; want {} (lock operand is a local)", cand)
+	}
+}
+
+// Branch join: the lock is only held on one arm, so it is not provably held
+// after the join.
+func TestBranchJoinIntersects(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void work(int c) {
+  if (c) {
+    lock(m);
+  }
+  counter = counter + 1;
+}
+int main() {
+  spawn(work, 0);
+  work(1);
+  return 0;
+}
+`)
+	cand, _ := info.Candidate("counter")
+	if !cand.IsEmpty() {
+		t.Fatalf("candidate(counter) = %v; want {} (conditionally held)", cand)
+	}
+}
+
+// Read-only shared globals are never reported.
+func TestReadOnlyGlobalNotReported(t *testing.T) {
+	info := compute(t, `
+int cfg;
+void work() {
+  int x;
+  x = cfg;
+  print(x);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`)
+	if races := info.Races(); len(races) != 0 {
+		t.Fatalf("unexpected races on read-only global: %v", races)
+	}
+}
+
+// Lock variables themselves must not be reported as races.
+func TestSyncVarNotReported(t *testing.T) {
+	info := compute(t, `
+int m;
+int counter;
+void work() {
+  lock(m);
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  m = 0;
+  work();
+  return 0;
+}
+`)
+	for _, r := range info.Races() {
+		if r.Var == "m" {
+			t.Fatalf("sync var reported as race: %v", r)
+		}
+	}
+	if !info.SyncVar("m") {
+		t.Error("m not recognized as a sync var")
+	}
+}
+
+// ProveRegion accepts a consistently locked region and rejects the same
+// region when a remote unprotected access exists.
+func TestProveRegion(t *testing.T) {
+	src := `
+int m;
+int counter;
+void work() {
+  lock(m);
+  counter = counter + 1;
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  work();
+  return 0;
+}
+`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := Compute(prog, nil, Options{})
+	fi := info.Funcs["work"]
+	var first, second *cfg.Node
+	for _, n := range fi.Graph.Nodes {
+		for _, a := range accessesOf(n) {
+			if a == "counter" {
+				if first == nil {
+					first = n
+				} else if second == nil && n != first {
+					second = n
+				}
+			}
+		}
+	}
+	if first == nil || second == nil {
+		t.Fatal("could not locate the two counter statements")
+	}
+	lk, ok := info.ProveRegion("work", "counter", first, second)
+	if !ok || lk != "m" {
+		t.Fatalf("ProveRegion = %q, %v; want m, true", lk, ok)
+	}
+	if _, ok := info.ProveRegion("work", "m", first, second); ok {
+		t.Error("sync var must not be provable")
+	}
+}
+
+// Address-taken globals are never provable: a pointer alias could access
+// them outside any lock without the name-based analysis seeing it.
+func TestAddressTakenNotProvable(t *testing.T) {
+	src := `
+int m;
+int counter;
+void poke(int unused) {
+  int *p;
+  p = &counter;
+  *p = 7;
+}
+void work() {
+  lock(m);
+  counter = counter + 1;
+  counter = counter + 1;
+  unlock(m);
+}
+int main() {
+  spawn(work, 0);
+  poke(0);
+  work();
+  return 0;
+}
+`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := Compute(prog, nil, Options{})
+	if !info.AddressTaken("counter") {
+		t.Fatal("counter should be address-taken")
+	}
+	fi := info.Funcs["work"]
+	var nodes []*cfg.Node
+	for _, n := range fi.Graph.Nodes {
+		for _, a := range accessesOf(n) {
+			if a == "counter" {
+				nodes = append(nodes, n)
+				break
+			}
+		}
+	}
+	if len(nodes) < 2 {
+		t.Fatal("could not locate the counter statements")
+	}
+	if _, ok := info.ProveRegion("work", "counter", nodes[0], nodes[1]); ok {
+		t.Error("address-taken global must not be provable")
+	}
+}
+
+// accessesOf returns the names of variables a node accesses.
+func accessesOf(n *cfg.Node) []string {
+	var out []string
+	for _, a := range analysis.NodeAccesses(n) {
+		if !a.Key.Deref {
+			out = append(out, a.Key.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+// Package lockset implements a flow-sensitive, Eraser-style lockset
+// analysis over MiniC programs: for every program point it computes the set
+// of locks *provably* held there, and for every shared variable the
+// candidate lockset — the intersection of the locksets at all of its
+// accesses program-wide. Two clients grow out of it:
+//
+//   - the static benign-AR classifier (annotate.Program.Proofs): an atomic
+//     region both of whose accesses run under a lock that (a) is held
+//     continuously across the region and (b) protects every access to the
+//     variable anywhere in the program is provably serializable — no
+//     conflicting remote access can interleave — so it can be whitelisted
+//     or dropped at annotation time, before the first training run;
+//   - the Eraser-style lint (Races): shared variables whose candidate
+//     lockset is empty are reported as static race diagnostics.
+//
+// The analysis is a must-dataflow over the internal/cfg graphs solved with
+// the internal/dataflow worklist framework (join = set intersection, top =
+// the universal set), made inter-procedural by a call-graph fixpoint in the
+// style of internal/analysis/effects.go: per-function lock summaries (locks
+// a callee may release, locks it definitely acquires) feed call transfer
+// functions, and per-function calling contexts (locks held at every call
+// site) seed the entry fact.
+package lockset
+
+import (
+	"sort"
+	"strings"
+
+	"kivati/internal/dataflow"
+)
+
+// Set is an immutable set of lock names, with a distinguished Top value
+// (the universal set) serving as the must-analysis lattice top: the initial
+// fact of unvisited nodes and the calling context of dead code. All
+// operations return new values.
+type Set struct {
+	top   bool
+	names []string // sorted, unique; nil when top
+}
+
+// Top returns the universal lockset.
+func Top() Set { return Set{top: true} }
+
+// Empty returns the empty lockset.
+func Empty() Set { return Set{} }
+
+// Of returns the lockset holding exactly the given names.
+func Of(names ...string) Set {
+	s := Set{}
+	for _, n := range names {
+		s = s.Add(n)
+	}
+	return s
+}
+
+// IsTop reports whether s is the universal set.
+func (s Set) IsTop() bool { return s.top }
+
+// IsEmpty reports whether s holds no locks (Top is not empty).
+func (s Set) IsEmpty() bool { return !s.top && len(s.names) == 0 }
+
+// Len returns the number of locks (unbounded for Top).
+func (s Set) Len() int { return len(s.names) }
+
+// Has reports whether the named lock is in the set.
+func (s Set) Has(name string) bool {
+	if s.top {
+		return true
+	}
+	i := sort.SearchStrings(s.names, name)
+	return i < len(s.names) && s.names[i] == name
+}
+
+// Names returns the sorted lock names (nil for Top).
+func (s Set) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Add returns s ∪ {name}. Top absorbs.
+func (s Set) Add(name string) Set {
+	if s.top || s.Has(name) {
+		return s
+	}
+	out := make([]string, 0, len(s.names)+1)
+	out = append(out, s.names...)
+	out = append(out, name)
+	sort.Strings(out)
+	return Set{names: out}
+}
+
+// Remove returns s − {name}. Removing from Top keeps Top: Top only ever
+// describes unexecuted code, where any value is vacuously sound.
+func (s Set) Remove(name string) Set {
+	if s.top || !s.Has(name) {
+		return s
+	}
+	out := make([]string, 0, len(s.names)-1)
+	for _, n := range s.names {
+		if n != name {
+			out = append(out, n)
+		}
+	}
+	return Set{names: out}
+}
+
+// Intersect returns s ∩ o; Top is the identity.
+func (s Set) Intersect(o Set) Set {
+	if s.top {
+		return o
+	}
+	if o.top {
+		return s
+	}
+	var out []string
+	for _, n := range s.names {
+		if o.Has(n) {
+			out = append(out, n)
+		}
+	}
+	return Set{names: out}
+}
+
+// Union returns s ∪ o; Top absorbs.
+func (s Set) Union(o Set) Set {
+	if s.top || o.top {
+		return Top()
+	}
+	out := s
+	for _, n := range o.names {
+		out = out.Add(n)
+	}
+	return out
+}
+
+// Subtract returns s − o. Subtracting Top yields Empty; subtracting from
+// Top keeps Top (see Remove).
+func (s Set) Subtract(o Set) Set {
+	if o.top {
+		if s.top {
+			return s
+		}
+		return Empty()
+	}
+	out := s
+	for _, n := range o.names {
+		out = out.Remove(n)
+	}
+	return out
+}
+
+// Equal implements dataflow.Facts.
+func (s Set) Equal(other dataflow.Facts) bool {
+	o := other.(Set)
+	if s.top != o.top || len(s.names) != len(o.names) {
+		return false
+	}
+	for i, n := range s.names {
+		if o.names[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) String() string {
+	if s.top {
+		return "{⊤}"
+	}
+	return "{" + strings.Join(s.names, ",") + "}"
+}

@@ -111,6 +111,17 @@ type Analysis struct {
 	// subroutine boundaries (a caller-side check paired with a helper's
 	// update).
 	InterProcedural bool
+	// Lockset runs the flow-sensitive Eraser-style lockset analysis and
+	// marks every AR it proves serializable (both accesses consistently
+	// protected by a common lock); StaticWhitelist then works.
+	Lockset bool
+	// Optimize enables the annotation optimizer: proven-benign ARs are
+	// dropped, ARs covered by sub-regions are deduplicated, and chained
+	// same-watch ARs coalesce. Implies Lockset.
+	Optimize bool
+	// Roots names extra thread entry functions (beyond main, spawn targets
+	// and uncalled functions) for the lockset analysis.
+	Roots []string
 }
 
 // BuildWithAnalysis is Build with the selected §3.5 analysis extensions.
@@ -118,6 +129,13 @@ func BuildWithAnalysis(source string, a Analysis) (*Program, error) {
 	p, err := core.BuildWithOptions(source, annotate.Options{
 		Precise:         a.Precise,
 		InterProcedural: a.InterProcedural,
+		Lockset:         a.Lockset || a.Optimize,
+		Roots:           a.Roots,
+		Optimize: annotate.OptimizeOptions{
+			DropBenign: a.Optimize,
+			Dedupe:     a.Optimize,
+			Coalesce:   a.Optimize,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -162,6 +180,14 @@ func (p *Program) ARs() []AR {
 // unlock operands, plus any extra flag names), the seed for optimization 4.
 func (p *Program) SyncVarWhitelist(extraNames ...string) (*Whitelist, error) {
 	return p.p.SyncVarWhitelist(extraNames...)
+}
+
+// StaticWhitelist returns the sync-variable whitelist plus every AR the
+// lockset analysis statically proved serializable — a compile-time
+// replacement for the Figure 7 training loop. The program must have been
+// built with Analysis.Lockset (or Optimize) set.
+func (p *Program) StaticWhitelist(extraNames ...string) (*Whitelist, error) {
+	return p.p.StaticWhitelist(extraNames...)
 }
 
 // Start names a thread entry function and its integer argument.
