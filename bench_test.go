@@ -82,12 +82,41 @@ func BenchmarkVMExecution(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var instr uint64
+	var instr, fast uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Run(p, core.RunConfig{Vanilla: true, Seed: 1, MaxTicks: 1_000_000_000})
 		if err != nil {
 			b.Fatal(err)
+		}
+		instr += res.Stats.Instructions
+		fast += res.FastInstructions
+	}
+	b.ReportMetric(float64(instr)/float64(b.Elapsed().Nanoseconds())*1e3, "Minstr/s")
+	b.ReportMetric(100*float64(fast)/float64(instr), "fast_residency_%")
+}
+
+// BenchmarkVMExecutionLegacyStep is BenchmarkVMExecution pinned to the
+// legacy one-instruction-at-a-time dispatcher; the ratio against
+// BenchmarkVMExecution is the fast path's speedup.
+func BenchmarkVMExecutionLegacyStep(b *testing.B) {
+	spec := workloads.NSS(workloads.Scale(benchScale))
+	p, err := core.Build(spec.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instr uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(p, core.RunConfig{
+			Vanilla: true, Seed: 1, MaxTicks: 1_000_000_000,
+			Dispatch: vm.DispatchStep,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FastInstructions != 0 {
+			b.Fatalf("legacy dispatch retired %d fast-path instructions", res.FastInstructions)
 		}
 		instr += res.Stats.Instructions
 	}

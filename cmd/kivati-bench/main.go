@@ -10,6 +10,8 @@
 //	kivati-bench -all -scale 0.5     # larger workloads
 //	kivati-bench -all -parallel 8    # fan runs out over 8 workers
 //	kivati-bench -all -json          # machine-readable report on stdout
+//	kivati-bench -bench-out BENCH_vm.json        # VM interpreter throughput baseline
+//	kivati-bench -bench-baseline BENCH_vm.json   # compare current VM against a baseline
 //
 // The independent VM runs inside each table fan out across a worker pool
 // (-parallel, default GOMAXPROCS); output is byte-identical at every
@@ -64,12 +66,14 @@ func main() {
 	ablIters := flag.Int("ablation-iters", 10, "training iterations in the ablation")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of rendered tables")
+	benchOut := flag.String("bench-out", "", "run the VM interpreter benchmark and write BENCH_vm.json-style output to this file")
+	benchBaseline := flag.String("bench-baseline", "", "compare the VM interpreter benchmark against this baseline JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	o := harness.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel}
-	if !*all && *table == 0 && *figure == 0 && !*ablation {
+	if !*all && *table == 0 && *figure == 0 && !*ablation && *benchOut == "" && *benchBaseline == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -205,6 +209,32 @@ func main() {
 		}
 	}
 
+	// runVMBench measures raw interpreter throughput (instr/sec, fast-path
+	// residency, kernel crossings) per workload and configuration, writing
+	// the report to -bench-out and/or comparing it against -bench-baseline.
+	runVMBench := func() {
+		run("vmbench", func() (any, string, error) {
+			res, err := harness.RunVMBench(o)
+			if err != nil {
+				return nil, "", err
+			}
+			text := res.String()
+			if *benchOut != "" {
+				if err := harness.WriteVMBench(*benchOut, res); err != nil {
+					return nil, "", err
+				}
+			}
+			if *benchBaseline != "" {
+				base, err := harness.ReadVMBench(*benchBaseline)
+				if err != nil {
+					return nil, "", err
+				}
+				text += "\n" + harness.CompareVMBench(base, res)
+			}
+			return res, text, nil
+		})
+	}
+
 	sweepStart := time.Now()
 	switch {
 	case *all:
@@ -222,6 +252,9 @@ func main() {
 		}
 		if *ablation {
 			runAblation()
+		}
+		if *benchOut != "" || *benchBaseline != "" {
+			runVMBench()
 		}
 	}
 	rep.TotalSeconds = time.Since(sweepStart).Seconds()

@@ -160,6 +160,15 @@ type RunConfig struct {
 	// Result.Snapshot after the run — the shared-memory observables the
 	// differential oracle compares across schedules.
 	SnapshotVars []string
+	// Dispatch selects the VM execution tier (see vm.DispatchMode):
+	// DispatchAuto (the default) uses the basic-block fast path whenever
+	// it is provably equivalent to stepping, DispatchStep forces the
+	// legacy interpreter, DispatchFast keeps the fast path even under a
+	// Policy (trace replay).
+	Dispatch vm.DispatchMode
+	// HashMemory, when set, fills Result.MemHash with the FNV-1a hash of
+	// final data memory (differential dispatch testing).
+	HashMemory bool
 }
 
 func (c *RunConfig) defaults() {
@@ -217,6 +226,7 @@ func Run(p *Program, cfg RunConfig) (*vm.Result, error) {
 		Costs:    cfg.Costs,
 		Requests: cfg.Requests,
 		Policy:   cfg.Policy,
+		Dispatch: cfg.Dispatch,
 	})
 	if err != nil {
 		return nil, err
@@ -241,6 +251,9 @@ func Run(p *Program, cfg RunConfig) (*vm.Result, error) {
 		m.After(interval, reload)
 	}
 	res := m.Run()
+	if cfg.HashMemory {
+		res.MemHash = m.MemHash()
+	}
 	if len(cfg.SnapshotVars) > 0 {
 		res.Snapshot = make(map[string]int64, len(cfg.SnapshotVars))
 		for _, name := range cfg.SnapshotVars {

@@ -205,6 +205,12 @@ func (c *campaign) runConfig(mode Mode, policy vm.SchedulePolicy, quantum uint64
 		Costs:          costs,
 		Policy:         policy,
 		SnapshotVars:   c.subject.SnapshotVars,
+		// Exploration owns the schedule: every decision point must reach
+		// the injected policy at exactly the clock the legacy interpreter
+		// would consult it. DispatchAuto already demotes when a Policy is
+		// set; pin it explicitly so exploration semantics never ride on
+		// that default.
+		Dispatch: vm.DispatchStep,
 	}
 }
 

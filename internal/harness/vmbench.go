@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kivati/internal/core"
+	"kivati/internal/kernel"
+	"kivati/internal/workloads"
+)
+
+// VMBenchSchema versions the BENCH_vm.json format.
+const VMBenchSchema = "kivati-bench-vm/v1"
+
+// VMBenchRow is one workload × configuration interpreter measurement.
+// Instructions, KernelCrossings and Ticks are deterministic (virtual
+// clock); Seconds and MInstrPerSec are wall-clock and machine-dependent.
+type VMBenchRow struct {
+	Workload         string  `json:"workload"`
+	Config           string  `json:"config"` // "vanilla" or "prevention-optimized"
+	Instructions     uint64  `json:"instructions"`
+	Seconds          float64 `json:"seconds"`
+	MInstrPerSec     float64 `json:"minstr_per_sec"`
+	FastResidencyPct float64 `json:"fast_residency_pct"`
+	KernelCrossings  uint64  `json:"kernel_crossings"`
+	Ticks            uint64  `json:"ticks"`
+}
+
+// VMBenchReport is the interpreter-throughput report written to
+// BENCH_vm.json by `kivati-bench -bench-out`.
+type VMBenchReport struct {
+	Schema string       `json:"schema"`
+	Rows   []VMBenchRow `json:"rows"`
+}
+
+// RunVMBench measures raw interpreter throughput for every workload in the
+// performance suite under two configurations: vanilla (watchpoint-free, so
+// the fast path should dominate) and prevention with all optimizations
+// (watchpoints arm and clear, so the machine oscillates between tiers).
+// Runs execute serially — wall-clock throughput is the measurement, so the
+// pool would only add scheduler noise.
+func RunVMBench(o Options) (*VMBenchReport, error) {
+	o = o.defaults()
+	rep := &VMBenchReport{Schema: VMBenchSchema}
+	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
+		a, err := sharedCache.prepare(spec)
+		if err != nil {
+			return nil, err
+		}
+		configs := []struct {
+			name string
+			cfg  core.RunConfig
+		}{
+			{"vanilla", a.config(o, kernel.Prevention, kernel.OptBase, true)},
+			{"prevention-optimized", a.config(o, kernel.Prevention, kernel.OptOptimized, false)},
+		}
+		for _, cc := range configs {
+			start := time.Now()
+			res, err := a.run(cc.cfg)
+			if err != nil {
+				return nil, err
+			}
+			secs := time.Since(start).Seconds()
+			row := VMBenchRow{
+				Workload:        spec.Name,
+				Config:          cc.name,
+				Instructions:    res.Stats.Instructions,
+				Seconds:         secs,
+				MInstrPerSec:    float64(res.Stats.Instructions) / secs / 1e6,
+				KernelCrossings: res.Stats.KernelEntries(),
+				Ticks:           res.Ticks,
+			}
+			if res.Stats.Instructions > 0 {
+				row.FastResidencyPct = 100 * float64(res.FastInstructions) / float64(res.Stats.Instructions)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+func (r *VMBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VM interpreter throughput (%s)\n", r.Schema)
+	fmt.Fprintf(&b, "%-10s %-22s %12s %9s %10s %8s %10s\n",
+		"Workload", "Config", "Instr", "Minstr/s", "FastRes%", "Kernel", "Ticks")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-22s %12d %9.2f %10.1f %8d %10d\n",
+			row.Workload, row.Config, row.Instructions, row.MInstrPerSec,
+			row.FastResidencyPct, row.KernelCrossings, row.Ticks)
+	}
+	return b.String()
+}
+
+// WriteVMBench writes the report as indented JSON.
+func WriteVMBench(path string, r *VMBenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadVMBench loads a baseline report, validating the schema tag.
+func ReadVMBench(path string) (*VMBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r VMBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("vmbench: %s: %w", path, err)
+	}
+	if r.Schema != VMBenchSchema {
+		return nil, fmt.Errorf("vmbench: %s: schema %q, want %q", path, r.Schema, VMBenchSchema)
+	}
+	return &r, nil
+}
+
+// CompareVMBench renders current against a baseline, matching rows by
+// (workload, config). Deterministic columns (instructions, crossings,
+// ticks) are flagged on any change; throughput and residency report the
+// relative delta. The comparison is informational — wall-clock numbers
+// move with the host — but a large residency drop is the early warning
+// that a change demoted the fast path.
+func CompareVMBench(baseline, current *VMBenchReport) string {
+	base := make(map[string]VMBenchRow, len(baseline.Rows))
+	for _, row := range baseline.Rows {
+		base[row.Workload+"/"+row.Config] = row
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "VM bench vs baseline\n")
+	fmt.Fprintf(&b, "%-10s %-22s %10s %10s %s\n",
+		"Workload", "Config", "Minstr/s", "FastRes%", "notes")
+	for _, row := range current.Rows {
+		key := row.Workload + "/" + row.Config
+		old, ok := base[key]
+		if !ok {
+			fmt.Fprintf(&b, "%-10s %-22s %10.2f %10.1f (no baseline row)\n",
+				row.Workload, row.Config, row.MInstrPerSec, row.FastResidencyPct)
+			continue
+		}
+		var notes []string
+		if old.Instructions != row.Instructions {
+			notes = append(notes, fmt.Sprintf("instr %d->%d", old.Instructions, row.Instructions))
+		}
+		if old.KernelCrossings != row.KernelCrossings {
+			notes = append(notes, fmt.Sprintf("crossings %d->%d", old.KernelCrossings, row.KernelCrossings))
+		}
+		if old.Ticks != row.Ticks {
+			notes = append(notes, fmt.Sprintf("ticks %d->%d", old.Ticks, row.Ticks))
+		}
+		if row.FastResidencyPct < old.FastResidencyPct-5 {
+			notes = append(notes, fmt.Sprintf("RESIDENCY DROP %.1f%%->%.1f%%",
+				old.FastResidencyPct, row.FastResidencyPct))
+		}
+		speed := 0.0
+		if old.MInstrPerSec > 0 {
+			speed = (row.MInstrPerSec - old.MInstrPerSec) / old.MInstrPerSec * 100
+		}
+		fmt.Fprintf(&b, "%-10s %-22s %10.2f %+9.1f%% %s\n",
+			row.Workload, row.Config, row.MInstrPerSec, speed, strings.Join(notes, "; "))
+	}
+	return b.String()
+}

@@ -59,14 +59,52 @@ func overlaps(a uint32, an uint8, b uint32, bn uint8) bool {
 }
 
 // RegisterFile is the set of watchpoint registers on one core.
+//
+// Alongside the registers themselves it maintains an armed-access summary —
+// the armed-register count and the address window covered by the armed
+// registers — kept coherent by Set/Clear/CopyFrom (the only mutation paths;
+// the kernel's begin_atomic/end_atomic/clear_ar handlers and trap paths all
+// program registers through Set/Clear). The summary collapses the common-case
+// per-access watchpoint check to a single predicate when nothing is armed or
+// the access falls outside the armed window, and is what the VM's tiered
+// fast path consults to decide whether a core may execute trap-free.
 type RegisterFile struct {
 	WPs   []Watchpoint
 	Epoch uint64 // version of the canonical register state this core has adopted
+
+	armed  int    // number of armed registers (summary)
+	lo, hi uint32 // armed address window [lo, hi); valid only when armed > 0
 }
 
 // NewRegisterFile returns a register file with n watchpoints.
 func NewRegisterFile(n int) *RegisterFile {
 	return &RegisterFile{WPs: make([]Watchpoint, n)}
+}
+
+// recompute rebuilds the armed summary from the registers. Register count is
+// tiny (2–12) and programming a register is a kernel operation, so a full
+// rescan on mutation is cheaper than incremental bookkeeping is worth.
+func (rf *RegisterFile) recompute() {
+	rf.armed = 0
+	rf.lo, rf.hi = 0, 0
+	for i := range rf.WPs {
+		wp := &rf.WPs[i]
+		if !wp.Armed {
+			continue
+		}
+		end := wp.Addr + uint32(wp.Size)
+		if rf.armed == 0 {
+			rf.lo, rf.hi = wp.Addr, end
+		} else {
+			if wp.Addr < rf.lo {
+				rf.lo = wp.Addr
+			}
+			if end > rf.hi {
+				rf.hi = end
+			}
+		}
+		rf.armed++
+	}
 }
 
 // Set programs register i. It panics on an invalid register index or size;
@@ -80,6 +118,7 @@ func (rf *RegisterFile) Set(i int, wp Watchpoint) {
 		panic(fmt.Sprintf("hw: invalid watchpoint size %d", wp.Size))
 	}
 	rf.WPs[i] = wp
+	rf.recompute()
 }
 
 // Clear disarms register i.
@@ -92,14 +131,35 @@ func (rf *RegisterFile) Clear(i int) {
 func (rf *RegisterFile) CopyFrom(src *RegisterFile) {
 	copy(rf.WPs, src.WPs)
 	rf.Epoch = src.Epoch
+	rf.armed, rf.lo, rf.hi = src.armed, src.lo, src.hi
+}
+
+// ArmedCount returns the number of armed registers.
+func (rf *RegisterFile) ArmedCount() int { return rf.armed }
+
+// Window returns the address window [lo, hi) covered by the armed registers.
+// ok is false when nothing is armed (the window is then meaningless).
+func (rf *RegisterFile) Window() (lo, hi uint32, ok bool) {
+	return rf.lo, rf.hi, rf.armed > 0
+}
+
+// MayMatch is the armed-access summary predicate: it reports whether an
+// access to [addr, addr+sz) could possibly hit an armed register. False
+// means no Match call is needed; true means the per-register scan must run.
+func (rf *RegisterFile) MayMatch(addr uint32, sz uint8) bool {
+	return rf.armed != 0 && addr < rf.hi && rf.lo < addr+uint32(sz)
 }
 
 // Match checks an access (addr, size sz, type t) performed by thread tid
 // against the armed registers and returns the index of the first register
 // that traps, or -1. A register whose LocalOf equals tid does not trap
 // (optimization 3: watchpoints are disabled during execution of the local
-// thread that owns the AR).
+// thread that owns the AR). The armed summary short-circuits the scan when
+// nothing armed can overlap the access.
 func (rf *RegisterFile) Match(tid int, addr uint32, sz uint8, t AccessType) int {
+	if rf.armed == 0 || addr >= rf.hi || addr+uint32(sz) <= rf.lo {
+		return -1
+	}
 	for i := range rf.WPs {
 		wp := &rf.WPs[i]
 		if !wp.Armed || wp.Types&t == 0 {

@@ -166,6 +166,124 @@ func TestMatchProperty(t *testing.T) {
 	}
 }
 
+// checkSummary asserts the armed summary matches a fresh rescan of the
+// registers.
+func checkSummary(t *testing.T, rf *RegisterFile, context string) {
+	t.Helper()
+	armed := 0
+	var lo, hi uint32
+	for _, wp := range rf.WPs {
+		if !wp.Armed {
+			continue
+		}
+		end := wp.Addr + uint32(wp.Size)
+		if armed == 0 {
+			lo, hi = wp.Addr, end
+		} else {
+			if wp.Addr < lo {
+				lo = wp.Addr
+			}
+			if end > hi {
+				hi = end
+			}
+		}
+		armed++
+	}
+	if got := rf.ArmedCount(); got != armed {
+		t.Errorf("%s: ArmedCount = %d, want %d", context, got, armed)
+	}
+	gotLo, gotHi, ok := rf.Window()
+	if ok != (armed > 0) {
+		t.Errorf("%s: Window ok = %v, want %v", context, ok, armed > 0)
+	}
+	if ok && (gotLo != lo || gotHi != hi) {
+		t.Errorf("%s: Window = [%#x, %#x), want [%#x, %#x)", context, gotLo, gotHi, lo, hi)
+	}
+}
+
+func TestArmedSummaryCoherence(t *testing.T) {
+	rf := NewRegisterFile(4)
+	checkSummary(t, rf, "empty")
+	if rf.MayMatch(0, 8) {
+		t.Error("MayMatch on empty file = true")
+	}
+
+	rf.Set(1, Watchpoint{Addr: 0x2000, Size: 8, Types: Write, Armed: true, Owner: 1, LocalOf: -1})
+	checkSummary(t, rf, "one armed")
+	if lo, hi, _ := rf.Window(); lo != 0x2000 || hi != 0x2008 {
+		t.Errorf("Window = [%#x, %#x), want [0x2000, 0x2008)", lo, hi)
+	}
+
+	rf.Set(3, Watchpoint{Addr: 0x1000, Size: 4, Types: Read, Armed: true, Owner: 2, LocalOf: -1})
+	checkSummary(t, rf, "two armed")
+	if lo, hi, _ := rf.Window(); lo != 0x1000 || hi != 0x2008 {
+		t.Errorf("Window = [%#x, %#x), want [0x1000, 0x2008)", lo, hi)
+	}
+
+	// Clearing the register that defines the window's low edge must
+	// shrink the window, not just decrement the count.
+	rf.Clear(3)
+	checkSummary(t, rf, "after clear")
+	if lo, hi, _ := rf.Window(); lo != 0x2000 || hi != 0x2008 {
+		t.Errorf("Window after Clear = [%#x, %#x), want [0x2000, 0x2008)", lo, hi)
+	}
+
+	// Overwriting an armed register with a disarmed value via Set.
+	rf.Set(1, Watchpoint{Owner: -1, LocalOf: -1})
+	checkSummary(t, rf, "all disarmed")
+	if rf.ArmedCount() != 0 {
+		t.Errorf("ArmedCount = %d, want 0", rf.ArmedCount())
+	}
+}
+
+func TestCopyFromCopiesSummary(t *testing.T) {
+	src := NewRegisterFile(4)
+	src.Set(0, Watchpoint{Addr: 0x10, Size: 4, Types: Write, Armed: true, Owner: 3, LocalOf: -1})
+	src.Set(2, Watchpoint{Addr: 0x40, Size: 8, Types: Read, Armed: true, Owner: 4, LocalOf: -1})
+	dst := NewRegisterFile(4)
+	dst.CopyFrom(src)
+	checkSummary(t, dst, "after CopyFrom")
+	if dst.ArmedCount() != 2 {
+		t.Errorf("ArmedCount = %d, want 2", dst.ArmedCount())
+	}
+	// Disarm everything in the source and re-adopt: the summary must
+	// follow, or a stale nonzero count would pin the VM off its fast path
+	// forever.
+	src.Clear(0)
+	src.Clear(2)
+	dst.CopyFrom(src)
+	checkSummary(t, dst, "after re-CopyFrom")
+	if dst.ArmedCount() != 0 {
+		t.Errorf("ArmedCount after clearing source = %d, want 0", dst.ArmedCount())
+	}
+}
+
+// Property: MayMatch is a sound filter for Match — whenever Match hits,
+// MayMatch must have said "possible". (The converse need not hold: the
+// window is a conservative over-approximation.)
+func TestMayMatchSoundness(t *testing.T) {
+	f := func(addrs [3]uint16, szSel [3]uint8, armedMask uint8, accAddr uint16, accSzSel uint8) bool {
+		sizes := []uint8{1, 2, 4, 8}
+		rf := NewRegisterFile(3)
+		for i := 0; i < 3; i++ {
+			rf.Set(i, Watchpoint{
+				Addr:    uint32(addrs[i]),
+				Size:    sizes[szSel[i]%4],
+				Types:   ReadWrite,
+				Armed:   armedMask&(1<<i) != 0,
+				Owner:   0,
+				LocalOf: -1,
+			})
+		}
+		asz := sizes[accSzSel%4]
+		hit := rf.Match(99, uint32(accAddr), asz, Write) >= 0
+		return !hit || rf.MayMatch(uint32(accAddr), asz)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSurveyMatchesPaperTable1(t *testing.T) {
 	if len(Survey) != 5 {
 		t.Fatalf("Survey has %d rows, want 5", len(Survey))

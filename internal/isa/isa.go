@@ -31,6 +31,21 @@ const (
 // values; the low two bits select log2 of the access width.
 type Op uint8
 
+// IsKernelBoundary reports whether the op leaves user-mode straight-line
+// execution: it enters the kernel (SYS) or ends the thread (HLT). The VM's
+// basic-block fast path must stop before such an instruction.
+func (o Op) IsKernelBoundary() bool { return o == OpSYS || o == OpHLT }
+
+// IsControlFlow reports whether the op ends a basic block by redirecting
+// the program counter.
+func (o Op) IsControlFlow() bool {
+	switch o {
+	case OpJMP, OpJZ, OpJNZ, OpCALL, OpCALLM, OpRET:
+		return true
+	}
+	return false
+}
+
 // Opcode space. Memory opcodes (OpLD, OpST, OpLDR, OpSTR, OpPUSHM) occupy
 // aligned groups of four so that op&3 encodes log2(width).
 const (

@@ -392,6 +392,9 @@ func (k *Kernel) localDisable() bool { return k.Cfg.Opt.UseUserLib() }
 // watchpoint owned by a different thread that would trap an access of type
 // t0 to [addr, addr+size), or -1.
 func (k *Kernel) WatchedByOther(t int, addr uint32, size uint8, t0 hw.AccessType) int {
+	if !k.Canon.MayMatch(addr, size) {
+		return -1
+	}
 	for i, wp := range k.Canon.WPs {
 		m := k.Meta[i]
 		if !wp.Armed || m.Stale || m.Guard || wp.Owner == t {
@@ -410,6 +413,9 @@ func (k *Kernel) WatchedByOther(t int, addr uint32, size uint8, t0 hw.AccessType
 // OwnWP returns the index of a non-stale watchpoint owned by thread t on
 // exactly addr, or -1.
 func (k *Kernel) OwnWP(t int, addr uint32) int {
+	if k.Canon.ArmedCount() == 0 {
+		return -1
+	}
 	for i, wp := range k.Canon.WPs {
 		if wp.Armed && !k.Meta[i].Stale && !k.Meta[i].Guard && wp.Owner == t && wp.Addr == addr {
 			return i
@@ -422,6 +428,9 @@ func (k *Kernel) OwnWP(t int, addr uint32) int {
 // watchpoints do not count as free here — reclaiming them requires a kernel
 // entry (ReconcileStale).
 func (k *Kernel) FreeWPIndex() int {
+	if k.Canon.ArmedCount() == len(k.Canon.WPs) {
+		return -1
+	}
 	for i, wp := range k.Canon.WPs {
 		if !wp.Armed {
 			return i

@@ -72,10 +72,14 @@ func Begin(k *kernel.Kernel, t int, syscallPC uint32, arID int, addr uint32, siz
 		}
 		return EnterKernel // needs a type/size upgrade
 	}
-	// No watchpoint register free: log the missed AR in user space and
-	// skip the crossing (optimization 1). Stale registers are only
-	// reclaimable in the kernel, so their presence forces a crossing.
-	if k.FreeWPIndex() < 0 {
+	// No watchpoint register free — the armed count saturates the table —
+	// so log the missed AR in user space and skip the crossing
+	// (optimization 1). Stale registers are only reclaimable in the
+	// kernel, so their presence forces a crossing. Elided operations here
+	// leave registers armed (live or stale), keeping the armed summary
+	// nonzero and the VM demoted from its fast path — exactly right,
+	// since those registers can still trap.
+	if k.Canon.ArmedCount() == len(k.Canon.WPs) {
 		if k.HasStale() {
 			return EnterKernel
 		}

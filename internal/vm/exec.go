@@ -15,6 +15,100 @@ type access struct {
 	typ  hw.AccessType
 }
 
+// inBounds reports whether [addr, addr+sz) lies inside data memory.
+func (m *Machine) inBounds(addr uint32, sz uint8) bool {
+	return int(addr)+int(sz) <= len(m.Mem)
+}
+
+// rec records one memory access of the instruction core c is executing into
+// the core's fixed access buffer (no per-step slice or closure allocation).
+// It bounds-checks the access, faulting the thread on a miss, and on
+// before-access hardware delivers the trap that aborts the instruction
+// (setting c.trapAborted). A false return means the access did not commit;
+// the caller must bail out through accessFailed.
+func (m *Machine) rec(c *Core, t *Thread, addr uint32, sz uint8, typ hw.AccessType) bool {
+	if !m.inBounds(addr, sz) {
+		m.fault(t, "memory access out of bounds: %#x", addr)
+		return false
+	}
+	if m.K.Cfg.TrapBefore {
+		// Before-access hardware (Table 1: SPARC-class): the trap
+		// fires before the access commits, aborting the instruction
+		// with the PC still on it. No undo is ever needed.
+		if idx := c.WP.Match(t.ID, addr, sz, typ); idx >= 0 {
+			c.trapAborted = true
+			c.WP.CopyFrom(m.K.Canon)
+			m.checkEpochWaiters()
+			m.K.HandleTrapBefore(t.ID, t.PC, kernel.Access{Addr: addr, Size: sz, Type: typ}, idx)
+			return false
+		}
+	}
+	c.accs[c.nacc] = access{addr, sz, typ}
+	c.nacc++
+	return true
+}
+
+// accessFailed is the single exit path for an instruction whose memory
+// access did not commit: either a before-access trap aborted it (charge the
+// trap, keep the PC on the instruction for re-execution) or the bounds
+// check faulted the thread (nothing more to charge). Keeping the
+// post-failure semantics here — instead of duplicated after every rec call
+// site — is what guarantees before-access-trap handling cannot drift
+// between instruction forms.
+func (m *Machine) accessFailed(c *Core, t *Thread, cost uint64) {
+	if c.trapAborted {
+		m.finishAbort(c, t, cost)
+		return
+	}
+	m.curCore = nil
+}
+
+// alu evaluates a two-operand ALU op. ok is false on division by zero, the
+// one ALU condition that faults.
+func alu(op isa.Op, a, b int64) (v int64, ok bool) {
+	switch op {
+	case isa.OpADD:
+		v = a + b
+	case isa.OpSUB:
+		v = a - b
+	case isa.OpMUL:
+		v = a * b
+	case isa.OpDIV:
+		if b == 0 {
+			return 0, false
+		}
+		v = a / b
+	case isa.OpMOD:
+		if b == 0 {
+			return 0, false
+		}
+		v = a % b
+	case isa.OpAND:
+		v = a & b
+	case isa.OpOR:
+		v = a | b
+	case isa.OpXOR:
+		v = a ^ b
+	case isa.OpSHL:
+		v = a << (uint64(b) & 63)
+	case isa.OpSHR:
+		v = int64(uint64(a) >> (uint64(b) & 63))
+	case isa.OpCEQ:
+		v = b2i(a == b)
+	case isa.OpCNE:
+		v = b2i(a != b)
+	case isa.OpCLT:
+		v = b2i(a < b)
+	case isa.OpCLE:
+		v = b2i(a <= b)
+	case isa.OpCGT:
+		v = b2i(a > b)
+	case isa.OpCGE:
+		v = b2i(a >= b)
+	}
+	return v, true
+}
+
 // step executes one instruction of the core's current thread, charges its
 // cost, and delivers a watchpoint trap if a committed access matches the
 // core's debug registers (x86 trap-after semantics).
@@ -31,30 +125,8 @@ func (m *Machine) step(c *Core) {
 	m.curCore = c
 	cost := m.cfg.Costs.Instr
 
-	var accs [2]access
-	na := 0
-	trapAborted := false
-	rec := func(addr uint32, sz uint8, typ hw.AccessType) bool {
-		if int(addr)+int(sz) > len(m.Mem) {
-			m.fault(t, "memory access out of bounds: %#x", addr)
-			return false
-		}
-		if m.K.Cfg.TrapBefore {
-			// Before-access hardware (Table 1: SPARC-class): the trap
-			// fires before the access commits, aborting the instruction
-			// with the PC still on it. No undo is ever needed.
-			if idx := c.WP.Match(t.ID, addr, sz, typ); idx >= 0 {
-				trapAborted = true
-				c.WP.CopyFrom(m.K.Canon)
-				m.checkEpochWaiters()
-				m.K.HandleTrapBefore(t.ID, t.PC, kernel.Access{Addr: addr, Size: sz, Type: typ}, idx)
-				return false
-			}
-		}
-		accs[na] = access{addr, sz, typ}
-		na++
-		return true
-	}
+	c.nacc = 0
+	c.trapAborted = false
 
 	nextPC := t.PC + uint32(in.Len)
 	r := &t.Regs
@@ -72,139 +144,67 @@ func (m *Machine) step(c *Core) {
 	case op == isa.OpMOVR:
 		r[in.Rd] = r[in.Ra]
 	case op >= isa.OpADD && op <= isa.OpCGE:
-		a, b := r[in.Ra], r[in.Rb]
-		var v int64
-		switch op {
-		case isa.OpADD:
-			v = a + b
-		case isa.OpSUB:
-			v = a - b
-		case isa.OpMUL:
-			v = a * b
-		case isa.OpDIV:
-			if b == 0 {
-				m.fault(t, "division by zero")
-				m.curCore = nil
-				return
-			}
-			v = a / b
-		case isa.OpMOD:
-			if b == 0 {
-				m.fault(t, "division by zero")
-				m.curCore = nil
-				return
-			}
-			v = a % b
-		case isa.OpAND:
-			v = a & b
-		case isa.OpOR:
-			v = a | b
-		case isa.OpXOR:
-			v = a ^ b
-		case isa.OpSHL:
-			v = a << (uint64(b) & 63)
-		case isa.OpSHR:
-			v = int64(uint64(a) >> (uint64(b) & 63))
-		case isa.OpCEQ:
-			v = b2i(a == b)
-		case isa.OpCNE:
-			v = b2i(a != b)
-		case isa.OpCLT:
-			v = b2i(a < b)
-		case isa.OpCLE:
-			v = b2i(a <= b)
-		case isa.OpCGT:
-			v = b2i(a > b)
-		case isa.OpCGE:
-			v = b2i(a >= b)
+		v, ok := alu(op, r[in.Ra], r[in.Rb])
+		if !ok {
+			m.fault(t, "division by zero")
+			m.curCore = nil
+			return
 		}
 		r[in.Rd] = v
 	case op == isa.OpADDI:
 		r[in.Rd] = r[in.Ra] + in.Imm
 	case op >= isa.OpLD && op < isa.OpLD+4:
-		if !rec(in.Addr, in.Sz, hw.Read) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, in.Addr, in.Sz, hw.Read) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		r[in.Rd] = signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
 	case op >= isa.OpST && op < isa.OpST+4:
-		if !rec(in.Addr, in.Sz, hw.Write) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, in.Addr, in.Sz, hw.Write) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		m.storeRaw(in.Addr, in.Sz, uint64(r[in.Ra]))
 	case op >= isa.OpLDR && op < isa.OpLDR+4:
 		addr := uint32(r[in.Ra] + in.Imm)
-		if !rec(addr, in.Sz, hw.Read) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, addr, in.Sz, hw.Read) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		r[in.Rd] = signExtend(m.loadRaw(addr, in.Sz), in.Sz)
 	case op >= isa.OpSTR && op < isa.OpSTR+4:
 		addr := uint32(r[in.Ra] + in.Imm)
-		if !rec(addr, in.Sz, hw.Write) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, addr, in.Sz, hw.Write) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		m.storeRaw(addr, in.Sz, uint64(r[in.Rb]))
 	case op == isa.OpPUSH:
 		sp := uint32(r[isa.RegSP]) - 8
-		if !rec(sp, 8, hw.Write) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, sp, 8, hw.Write) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		r[isa.RegSP] = int64(sp)
 		m.storeRaw(sp, 8, uint64(r[in.Ra]))
 	case op == isa.OpPOP:
 		sp := uint32(r[isa.RegSP])
-		if !rec(sp, 8, hw.Read) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, sp, 8, hw.Read) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		r[in.Rd] = int64(m.loadRaw(sp, 8))
 		r[isa.RegSP] = int64(sp + 8)
 	case op >= isa.OpPUSHM && op < isa.OpPUSHM+4:
 		// Memory-to-stack move: read the source, write the stack.
-		if !rec(in.Addr, in.Sz, hw.Read) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, in.Addr, in.Sz, hw.Read) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		v := signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
 		sp := uint32(r[isa.RegSP]) - 8
-		if !rec(sp, 8, hw.Write) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, sp, 8, hw.Write) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		r[isa.RegSP] = int64(sp)
@@ -221,12 +221,8 @@ func (m *Machine) step(c *Core) {
 		}
 	case op == isa.OpCALL:
 		sp := uint32(r[isa.RegSP]) - 8
-		if !rec(sp, 8, hw.Write) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, sp, 8, hw.Write) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		r[isa.RegSP] = int64(sp)
@@ -236,22 +232,14 @@ func (m *Machine) step(c *Core) {
 	case op == isa.OpCALLM:
 		// Indirect call: the target-PC read can hit a watchpoint — the
 		// §3.3 call special case.
-		if !rec(in.Addr, 8, hw.Read) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, in.Addr, 8, hw.Read) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		target := uint32(m.loadRaw(in.Addr, 8))
 		sp := uint32(r[isa.RegSP]) - 8
-		if !rec(sp, 8, hw.Write) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, sp, 8, hw.Write) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		r[isa.RegSP] = int64(sp)
@@ -260,12 +248,8 @@ func (m *Machine) step(c *Core) {
 		t.Depth++
 	case op == isa.OpRET:
 		sp := uint32(r[isa.RegSP])
-		if !rec(sp, 8, hw.Read) {
-			if trapAborted {
-				m.finishAbort(c, t, cost)
-				return
-			}
-			m.curCore = nil
+		if !m.rec(c, t, sp, 8, hw.Read) {
+			m.accessFailed(c, t, cost)
 			return
 		}
 		nextPC = uint32(m.loadRaw(sp, 8))
@@ -276,7 +260,7 @@ func (m *Machine) step(c *Core) {
 	case op == isa.OpSYS:
 		t.PC = nextPC
 		cost += m.syscall(c, t, t.LastInstr, int(in.Imm))
-		m.finish(c, t, cost, accs[:0])
+		m.finish(c, t, cost, nil)
 		return
 	default:
 		m.fault(t, "unimplemented opcode %v", op)
@@ -285,7 +269,7 @@ func (m *Machine) step(c *Core) {
 	}
 
 	t.PC = nextPC
-	m.finish(c, t, cost, accs[:na])
+	m.finish(c, t, cost, c.accs[:c.nacc])
 }
 
 // abortCost is charged when a before-access trap aborts an instruction.

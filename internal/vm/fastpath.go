@@ -1,0 +1,366 @@
+package vm
+
+import "kivati/internal/isa"
+
+// This file implements the tiered-execution fast path: basic-block
+// superstep dispatch over the pre-decoded instruction stream.
+//
+// The paper's performance argument (§5) is that the non-AR common case —
+// no watchpoint armed anywhere — must be nearly free. The legacy Run loop
+// pays full per-instruction freight for that case: a scheduler visit, a
+// timer comparison, an event-heap peek and a clock-advance computation per
+// retired instruction. The superstep collapses all of it: when no core can
+// trap, no kernel activity is due and no scheduling decision can arise,
+// the machine computes the largest window [clock, bound) in which the
+// legacy loop provably does nothing but retire straight-line instructions,
+// executes the whole window in a tight lockstep loop, and charges cost in
+// bulk. Everything observable — event delivery, timer interrupts,
+// scheduling decisions, rng consumption, per-thread instruction ticks —
+// happens at exactly the clock values the legacy loop would have used, so
+// execution is bit-identical (the differential gate in
+// fastpath_test.go holds the interpreter to that).
+
+// buildBlockLen precomputes, for every instruction start, how many
+// instructions the fast path may retire beginning there without leaving
+// straight-line code: 0 for pcs the fast path must not enter (SYS and HLT
+// need the kernel; non-starts are decode faults), 1 for control flow
+// (the block ends but the instruction itself is fast-executable), and
+// 1 + blockLen[next] otherwise. starts is the list of instruction-start
+// pcs in ascending order; the walk is in reverse so each entry is O(1).
+func (m *Machine) buildBlockLen(starts []uint32) {
+	m.blockLen = make([]uint16, len(m.decoded))
+	const maxLen = ^uint16(0)
+	for i := len(starts) - 1; i >= 0; i-- {
+		pc := starts[i]
+		in := m.decoded[pc]
+		switch {
+		case in.Op.IsKernelBoundary():
+			// The legacy path must execute it.
+		case in.Op.IsControlFlow():
+			m.blockLen[pc] = 1
+		default:
+			n := uint16(1)
+			if next := pc + uint32(in.Len); int(next) < len(m.blockLen) {
+				if bl := m.blockLen[next]; bl < maxLen {
+					n += bl
+				} else {
+					n = maxLen
+				}
+			}
+			m.blockLen[pc] = n
+		}
+	}
+}
+
+// trySuperstep retires one superstep window if the machine state admits
+// one, otherwise returns leaving all state untouched so the legacy loop
+// handles the current clock. Demotion conditions (any one suffices):
+//
+//   - epoch/pause waiters exist: their wake checks are interleaved with
+//     kernel entries the window would skip;
+//   - an event is due at the current clock;
+//   - a running core has a timer interrupt due or any watchpoint armed in
+//     its local register file (stale or live — either can trap);
+//   - a free core exists while the run queue is non-empty (a scheduling
+//     decision, and under the built-in scheduler an rng consultation, is
+//     due at this clock).
+//
+// The window bound is the earliest clock at which the legacy loop would do
+// anything besides retire an instruction: a running core's next timer
+// interrupt, a busy core's wake-up (it reschedules or resumes then), a
+// free core's next idle timer reset, the next event, and MaxTicks.
+func (m *Machine) trySuperstep() {
+	if m.epochWaiters {
+		return
+	}
+	if len(m.events) > 0 && m.events[0].tick <= m.clock {
+		return
+	}
+	t0 := m.clock
+	bound := ^uint64(0)
+	active := m.fastCores[:0]
+	for _, c := range m.cores {
+		if c.BusyUntil > t0 {
+			// Mid-cost (or mid-instruction) core: the legacy loop skips
+			// it entirely until BusyUntil, where it reschedules, resumes
+			// or has its timer checked — end the window there.
+			if c.BusyUntil < bound {
+				bound = c.BusyUntil
+			}
+			continue
+		}
+		if c.Cur != nil {
+			if t0 >= c.NextTimer || c.WP.ArmedCount() != 0 {
+				return
+			}
+			if c.NextTimer < bound {
+				bound = c.NextTimer
+			}
+			active = append(active, c)
+			continue
+		}
+		// Free core. If anything is runnable it schedules right now.
+		if len(m.runq) > 0 {
+			return
+		}
+		nt := c.NextTimer
+		if t0 >= nt {
+			// The legacy loop would reset the idle core's timer at t0
+			// (no interrupt is delivered with nothing running); mirror
+			// it so the post-window timer phase is identical.
+			nt = t0 + m.cfg.Costs.Quantum
+			c.NextTimer = nt
+		}
+		if nt < bound {
+			bound = nt
+		}
+	}
+	m.fastCores = active
+	if len(active) == 0 {
+		return
+	}
+	if len(m.events) > 0 && m.events[0].tick < bound {
+		bound = m.events[0].tick
+	}
+	if m.cfg.MaxTicks > 0 && m.cfg.MaxTicks < bound {
+		bound = m.cfg.MaxTicks
+	}
+	if bound <= t0 {
+		return
+	}
+
+	// Lockstep rounds: in the legacy loop every aligned running core
+	// retires one instruction per Costs.Instr ticks, in core order within
+	// the tick. Round k therefore executes at clock t0 + k*Instr; n is the
+	// number of whole rounds that fit strictly before the bound.
+	instr := m.cfg.Costs.Instr
+	n := (bound - t0 + instr - 1) / instr
+	if n == 0 {
+		return
+	}
+
+	var rounds uint64
+	stopIdx := 0
+	stopped := false
+	if len(active) == 1 {
+		rounds = m.runFastSingle(active[0], n)
+		stopped = rounds < n
+	} else {
+	loop:
+		for k := uint64(0); k < n; k++ {
+			for i, c := range active {
+				if !m.execFast(c, c.Cur) {
+					// Core i cannot proceed (kernel boundary or faulting
+					// instruction): in the legacy loop its round-k
+					// instruction commits at t0+k*instr *after* the
+					// round-k instructions of cores ordered before it,
+					// and *before* those of cores ordered after it. So
+					// cores < i keep round k; cores >= i replay it (and
+					// everything later) on the legacy path.
+					rounds, stopIdx, stopped = k, i, true
+					break loop
+				}
+			}
+		}
+		if !stopped {
+			rounds = n
+		}
+	}
+
+	var total uint64
+	for i, c := range active {
+		cnt := rounds
+		if stopped && i < stopIdx {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		// Bulk cost charge: identical to cnt legacy steps at Instr each.
+		c.BusyUntil = t0 + cnt*instr
+		total += cnt
+	}
+	if total == 0 {
+		return
+	}
+	m.Stats.Instructions += total
+	m.fastInstrs += total
+	m.fastWindows++
+}
+
+// runFastSingle is the one-active-core window executor: it retires up to n
+// instructions in blockLen-sized straight-line chunks, so the per-
+// instruction "is this a kernel boundary" lookup is hoisted to block
+// edges. Returns the number of instructions retired.
+func (m *Machine) runFastSingle(c *Core, n uint64) uint64 {
+	t := c.Cur
+	var done uint64
+	for done < n {
+		pc := t.PC
+		if int(pc) >= len(m.blockLen) {
+			return done
+		}
+		chunk := uint64(m.blockLen[pc])
+		if chunk == 0 {
+			return done
+		}
+		if chunk > n-done {
+			chunk = n - done
+		}
+		for j := uint64(0); j < chunk; j++ {
+			if !m.execFast(c, t) {
+				return done + j
+			}
+		}
+		done += chunk
+	}
+	return done
+}
+
+// execFast retires exactly one instruction of thread t on core c with no
+// kernel interaction and no access recording (the window guarantees no
+// watchpoint is armed on the core, so no trap — before- or after-access —
+// can fire, and Match would return -1 for every committed access). It
+// returns false, leaving all machine state untouched, when the instruction
+// must execute on the legacy path instead: a kernel boundary (SYS, HLT),
+// an undecodable pc, or a faulting condition (division by zero,
+// out-of-bounds access). Stop-before semantics make the fallback exact:
+// the legacy step re-executes the instruction at the identical clock with
+// identical state.
+func (m *Machine) execFast(c *Core, t *Thread) bool {
+	pc := t.PC
+	if int(pc) >= len(m.blockLen) || m.blockLen[pc] == 0 {
+		return false
+	}
+	in := m.decoded[pc]
+	r := &t.Regs
+	op := in.Op
+	nextPC := pc + uint32(in.Len)
+
+	switch {
+	case op == isa.OpNOP:
+	case op == isa.OpMOVQ || op == isa.OpMOVL:
+		r[in.Rd] = in.Imm
+	case op == isa.OpMOVR:
+		r[in.Rd] = r[in.Ra]
+	case op >= isa.OpADD && op <= isa.OpCGE:
+		v, ok := alu(op, r[in.Ra], r[in.Rb])
+		if !ok {
+			return false // division by zero: fault on the legacy path
+		}
+		r[in.Rd] = v
+	case op == isa.OpADDI:
+		r[in.Rd] = r[in.Ra] + in.Imm
+	case op >= isa.OpLD && op < isa.OpLD+4:
+		if !m.inBounds(in.Addr, in.Sz) {
+			return false
+		}
+		r[in.Rd] = signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
+	case op >= isa.OpST && op < isa.OpST+4:
+		if !m.inBounds(in.Addr, in.Sz) {
+			return false
+		}
+		m.storeRaw(in.Addr, in.Sz, uint64(r[in.Ra]))
+	case op >= isa.OpLDR && op < isa.OpLDR+4:
+		addr := uint32(r[in.Ra] + in.Imm)
+		if !m.inBounds(addr, in.Sz) {
+			return false
+		}
+		r[in.Rd] = signExtend(m.loadRaw(addr, in.Sz), in.Sz)
+	case op >= isa.OpSTR && op < isa.OpSTR+4:
+		addr := uint32(r[in.Ra] + in.Imm)
+		if !m.inBounds(addr, in.Sz) {
+			return false
+		}
+		m.storeRaw(addr, in.Sz, uint64(r[in.Rb]))
+	case op == isa.OpPUSH:
+		sp := uint32(r[isa.RegSP]) - 8
+		if !m.inBounds(sp, 8) {
+			return false
+		}
+		r[isa.RegSP] = int64(sp)
+		m.storeRaw(sp, 8, uint64(r[in.Ra]))
+	case op == isa.OpPOP:
+		sp := uint32(r[isa.RegSP])
+		if !m.inBounds(sp, 8) {
+			return false
+		}
+		r[in.Rd] = int64(m.loadRaw(sp, 8))
+		r[isa.RegSP] = int64(sp + 8)
+	case op >= isa.OpPUSHM && op < isa.OpPUSHM+4:
+		if !m.inBounds(in.Addr, in.Sz) {
+			return false
+		}
+		sp := uint32(r[isa.RegSP]) - 8
+		if !m.inBounds(sp, 8) {
+			return false
+		}
+		v := signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
+		r[isa.RegSP] = int64(sp)
+		m.storeRaw(sp, 8, uint64(v))
+	case op == isa.OpJMP:
+		nextPC = in.Addr
+	case op == isa.OpJZ:
+		if r[in.Ra] == 0 {
+			nextPC = in.Addr
+		}
+	case op == isa.OpJNZ:
+		if r[in.Ra] != 0 {
+			nextPC = in.Addr
+		}
+	case op == isa.OpCALL:
+		sp := uint32(r[isa.RegSP]) - 8
+		if !m.inBounds(sp, 8) {
+			return false
+		}
+		r[isa.RegSP] = int64(sp)
+		m.storeRaw(sp, 8, uint64(nextPC))
+		nextPC = in.Addr
+		t.Depth++
+	case op == isa.OpCALLM:
+		if !m.inBounds(in.Addr, 8) {
+			return false
+		}
+		sp := uint32(r[isa.RegSP]) - 8
+		if !m.inBounds(sp, 8) {
+			return false
+		}
+		target := uint32(m.loadRaw(in.Addr, 8))
+		r[isa.RegSP] = int64(sp)
+		m.storeRaw(sp, 8, uint64(nextPC))
+		nextPC = target
+		t.Depth++
+	case op == isa.OpRET:
+		sp := uint32(r[isa.RegSP])
+		if !m.inBounds(sp, 8) {
+			return false
+		}
+		nextPC = uint32(m.loadRaw(sp, 8))
+		r[isa.RegSP] = int64(sp + 8)
+		if t.Depth > 0 {
+			t.Depth--
+		}
+	default:
+		// Op the legacy interpreter would fault as unimplemented.
+		return false
+	}
+
+	t.LastInstr = pc
+	t.PC = nextPC
+	return true
+}
+
+// MemHash returns the FNV-1a hash of data memory, for differential
+// comparison of final memory images across dispatch modes.
+func (m *Machine) MemHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range m.Mem {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

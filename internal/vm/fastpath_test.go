@@ -1,0 +1,388 @@
+package vm
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kivati/internal/compile"
+	"kivati/internal/kernel"
+)
+
+// runDispatch compiles and runs src under one dispatch mode, tolerating
+// faults (fault equivalence across modes is part of what these tests
+// check).
+func runDispatch(t *testing.T, src string, o runOpts, d DispatchMode) (*Machine, *Result) {
+	t.Helper()
+	bin := buildSrc(t, src, o.compile)
+	if o.kcfg.Opt == kernel.OptOptimized && o.compile.ShadowWrites {
+		o.kcfg.ShadowDelta = compile.ShadowDelta
+	}
+	k := kernel.New(o.kcfg, o.wl, nil, nil)
+	cfg := o.mcfg
+	cfg.Dispatch = d
+	m, err := New(bin, k, cfg)
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	starts := o.starts
+	if len(starts) == 0 {
+		starts = []startSpec{{fn: "main"}}
+	}
+	for _, s := range starts {
+		if _, err := m.Start(s.fn, s.arg); err != nil {
+			t.Fatalf("Start(%s): %v", s.fn, err)
+		}
+	}
+	return m, m.Run()
+}
+
+// assertDispatchEqual runs src under DispatchStep and DispatchAuto and
+// requires bit-identical observable state: outputs, ticks, reason, faults,
+// kernel stats, violations, final memory image, and per-thread registers.
+func assertDispatchEqual(t *testing.T, name, src string, o runOpts) {
+	t.Helper()
+	ms, rs := runDispatch(t, src, o, DispatchStep)
+	mf, rf := runDispatch(t, src, o, DispatchAuto)
+
+	if rs.FastInstructions != 0 || rs.FastWindows != 0 {
+		t.Errorf("%s: DispatchStep retired %d fast instructions in %d windows, want 0",
+			name, rs.FastInstructions, rs.FastWindows)
+	}
+	if rs.Reason != rf.Reason {
+		t.Errorf("%s: reason step=%q fast=%q", name, rs.Reason, rf.Reason)
+	}
+	if rs.Ticks != rf.Ticks {
+		t.Errorf("%s: ticks step=%d fast=%d", name, rs.Ticks, rf.Ticks)
+	}
+	if !reflect.DeepEqual(rs.Output, rf.Output) {
+		t.Errorf("%s: output step=%v fast=%v", name, rs.Output, rf.Output)
+	}
+	if !reflect.DeepEqual(rs.Faults, rf.Faults) {
+		t.Errorf("%s: faults step=%v fast=%v", name, rs.Faults, rf.Faults)
+	}
+	if !reflect.DeepEqual(rs.Latencies, rf.Latencies) {
+		t.Errorf("%s: latencies differ", name)
+	}
+	if !reflect.DeepEqual(rs.Stats, rf.Stats) {
+		t.Errorf("%s: stats step=%+v fast=%+v", name, rs.Stats, rf.Stats)
+	}
+	if !reflect.DeepEqual(rs.Violations, rf.Violations) {
+		t.Errorf("%s: violations step=%v fast=%v", name, rs.Violations, rf.Violations)
+	}
+	if hs, hf := ms.MemHash(), mf.MemHash(); hs != hf {
+		t.Errorf("%s: memory hash step=%#x fast=%#x", name, hs, hf)
+	}
+	if ms.NumThreads() != mf.NumThreads() {
+		t.Fatalf("%s: thread count step=%d fast=%d", name, ms.NumThreads(), mf.NumThreads())
+	}
+	for tid := 0; tid < ms.NumThreads(); tid++ {
+		ts, tf := ms.Thread(tid), mf.Thread(tid)
+		if ts.Regs != tf.Regs || ts.PC != tf.PC || ts.State != tf.State {
+			t.Errorf("%s: thread %d state differs: step pc=%#x fast pc=%#x", name, tid, ts.PC, tf.PC)
+		}
+	}
+}
+
+func TestDispatchEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"single-thread-loop", `
+void main() {
+    int i;
+    int sum;
+    i = 0;
+    sum = 0;
+    while (i < 20000) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    print(sum);
+}`},
+		{"recursion", `
+int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() {
+    print(fib(15));
+}`},
+		{"spawn-racy-counter", `
+int counter;
+int lk;
+int done;
+void worker(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        counter = counter + 1;
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(worker, 4000);
+    spawn(worker, 4000);
+    while (done < 2) {
+        yield();
+    }
+    print(counter);
+}`},
+		{"spawn-locked-counter", `
+int counter;
+int lk;
+void worker(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        lock(lk);
+        counter = counter + 1;
+        unlock(lk);
+        i = i + 1;
+    }
+}
+void main() {
+    spawn(worker, 500);
+    spawn(worker, 500);
+    while (counter < 1000) {
+        yield();
+    }
+    print(counter);
+}`},
+		{"sleep-and-events", `
+int lk;
+int done;
+void waiter(int n) {
+    sleep(n);
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(waiter, 700);
+    spawn(waiter, 1300);
+    while (done < 2) {
+        yield();
+    }
+    print(done);
+}`},
+		{"division-fault", `
+void main() {
+    int i;
+    int v;
+    i = 0;
+    v = 7;
+    while (i < 1000) {
+        i = i + 1;
+    }
+    print(v / (i - 1000));
+}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertDispatchEqual(t, tc.name, tc.src, defaultRunOpts())
+		})
+	}
+}
+
+// Three-thread contention on two cores under prevention with annotated
+// atomic regions: watchpoints arm and clear continually, so the machine
+// oscillates between fast windows and legacy demotion. Sweep seeds so
+// different interleavings (and timer phases) are all exercised.
+func TestDispatchEquivalenceUnderPrevention(t *testing.T) {
+	src := `
+int shared;
+int lk;
+int done;
+void worker(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        shared = shared + 1;
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(worker, 300);
+    spawn(worker, 300);
+    worker(300);
+    while (done < 3) {
+        yield();
+    }
+    print(shared);
+}`
+	for seed := int64(1); seed <= 5; seed++ {
+		o := defaultRunOpts()
+		o.mcfg.Seed = seed
+		assertDispatchEqual(t, fmt.Sprintf("seed-%d", seed), src, o)
+	}
+}
+
+// MaxTicks truncation must land on the identical tick in both modes: the
+// fast path bounds every window at MaxTicks.
+func TestDispatchEquivalenceMaxTicks(t *testing.T) {
+	src := `
+void main() {
+    int i;
+    i = 0;
+    while (i < 1000000) {
+        i = i + 1;
+    }
+}`
+	for _, max := range []uint64{100, 999, 12345} {
+		o := defaultRunOpts()
+		o.mcfg.MaxTicks = max
+		ms, rs := runDispatch(t, src, o, DispatchStep)
+		mf, rf := runDispatch(t, src, o, DispatchAuto)
+		if rs.Reason != "max-ticks" {
+			t.Fatalf("max=%d: reason = %q, want max-ticks", max, rs.Reason)
+		}
+		if rs.Reason != rf.Reason || rs.Ticks != rf.Ticks {
+			t.Errorf("max=%d: step (%q, %d) vs fast (%q, %d)",
+				max, rs.Reason, rs.Ticks, rf.Reason, rf.Ticks)
+		}
+		if !reflect.DeepEqual(rs.Stats, rf.Stats) {
+			t.Errorf("max=%d: stats differ: step=%+v fast=%+v", max, rs.Stats, rf.Stats)
+		}
+		if ms.Thread(0).Regs != mf.Thread(0).Regs {
+			t.Errorf("max=%d: thread registers differ at truncation point", max)
+		}
+	}
+}
+
+// A watchpoint-free single-threaded run should spend nearly all its
+// instructions on the fast path.
+func TestFastPathResidency(t *testing.T) {
+	src := `
+void main() {
+    int i;
+    i = 0;
+    while (i < 50000) {
+        i = i + 1;
+    }
+}`
+	o := defaultRunOpts()
+	o.compile = compile.Options{}
+	o.annotate = false
+	_, res := runDispatch(t, src, o, DispatchAuto)
+	if res.Reason != "completed" {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+	if res.FastInstructions == 0 || res.FastWindows == 0 {
+		t.Fatalf("fast path never engaged: instrs=%d windows=%d", res.FastInstructions, res.FastWindows)
+	}
+	resid := float64(res.FastInstructions) / float64(res.Stats.Instructions)
+	if resid < 0.9 {
+		t.Errorf("fast-path residency = %.1f%% (%d/%d), want >= 90%%",
+			100*resid, res.FastInstructions, res.Stats.Instructions)
+	}
+}
+
+// A schedule policy demotes DispatchAuto entirely (exploration semantics),
+// while DispatchFast keeps the fast path engaged alongside the policy.
+func TestPolicyDemotesAuto(t *testing.T) {
+	src := `
+int x;
+int lk;
+int done;
+void worker(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        x = x + 1;
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(worker, 1000);
+    worker(1000);
+    while (done < 2) {
+        yield();
+    }
+}`
+	o := defaultRunOpts()
+	o.compile = compile.Options{}
+
+	rec := NewRecorder(queueHeadPolicy{})
+	bin := buildSrc(t, src, o.compile)
+	k := kernel.New(o.kcfg, nil, nil, nil)
+	cfg := o.mcfg
+	cfg.Policy = rec
+	m, err := New(bin, k, cfg)
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	if _, err := m.Start("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.FastInstructions != 0 {
+		t.Errorf("DispatchAuto with a policy retired %d fast instructions, want 0", res.FastInstructions)
+	}
+	_ = m
+}
+
+// queueHeadPolicy always picks the queue head (the non-deviating choice).
+type queueHeadPolicy struct{}
+
+func (queueHeadPolicy) Pick(SchedPoint) int { return 0 }
+
+// blockLen sanity on a compiled binary: zero at SYS/HLT and non-starts,
+// positive elsewhere, and 1 on control flow.
+func TestBlockLenTable(t *testing.T) {
+	src := `
+void main() {
+    int i;
+    i = 0;
+    while (i < 3) {
+        i = i + 1;
+    }
+    print(i);
+}`
+	o := defaultRunOpts()
+	m, _ := runDispatch(t, src, o, DispatchStep)
+	if len(m.blockLen) != len(m.decoded) {
+		t.Fatalf("blockLen len %d != decoded len %d", len(m.blockLen), len(m.decoded))
+	}
+	starts := 0
+	for pc := range m.decoded {
+		in := m.decoded[pc]
+		if in.Len == 0 {
+			if m.blockLen[pc] != 0 {
+				t.Fatalf("non-start pc %#x has blockLen %d", pc, m.blockLen[pc])
+			}
+			continue
+		}
+		starts++
+		bl := m.blockLen[pc]
+		switch {
+		case in.Op.IsKernelBoundary():
+			if bl != 0 {
+				t.Errorf("kernel-boundary op at %#x has blockLen %d, want 0", pc, bl)
+			}
+		case in.Op.IsControlFlow():
+			if bl != 1 {
+				t.Errorf("control-flow op at %#x has blockLen %d, want 1", pc, bl)
+			}
+		default:
+			if bl == 0 {
+				t.Errorf("straight-line op %v at %#x has blockLen 0", in.Op, pc)
+			}
+		}
+	}
+	if starts == 0 {
+		t.Fatal("no instruction starts found")
+	}
+}

@@ -62,6 +62,27 @@ type RequestConfig struct {
 	Count            int    // total requests to generate
 }
 
+// DispatchMode selects the interpreter's execution tier.
+type DispatchMode int
+
+const (
+	// DispatchAuto (the default) uses the basic-block fast path whenever
+	// it is provably equivalent to step-at-a-time execution and demotes
+	// otherwise: a schedule policy is injected, debug tracing is on, or a
+	// per-access cost is charged. Within Auto the machine still demotes
+	// dynamically whenever any watchpoint is armed anywhere or kernel
+	// activity (events, timers, scheduling) is due.
+	DispatchAuto DispatchMode = iota
+	// DispatchStep forces the legacy one-instruction-at-a-time loop.
+	DispatchStep
+	// DispatchFast uses the fast path even under a schedule policy. This
+	// is safe — no scheduling decision point can occur inside a fast
+	// window, because a window never frees a core while the run queue is
+	// non-empty — and is what lets recorded schedules replay on the fast
+	// path (see TestFastPathReplay).
+	DispatchFast
+)
+
 // Config parameterizes a machine.
 type Config struct {
 	Cores    int
@@ -76,6 +97,8 @@ type Config struct {
 	Policy SchedulePolicy
 	// Debug, if non-nil, receives a line per scheduling/kernel event.
 	Debug io.Writer
+	// Dispatch selects the execution tier (see DispatchMode).
+	Dispatch DispatchMode
 }
 
 type threadState int
@@ -109,6 +132,13 @@ type Core struct {
 	Cur       *Thread
 	BusyUntil uint64
 	NextTimer uint64
+
+	// Fixed access-recording buffer for the instruction in flight (no
+	// instruction performs more than two memory accesses). Owned by
+	// Machine.rec / Machine.step; reset at the top of each step.
+	accs        [2]access
+	nacc        int
+	trapAborted bool
 }
 
 type event struct {
@@ -153,6 +183,22 @@ type Machine struct {
 	eventSeq uint64
 
 	decoded []isa.Instr // indexed by PC; Len==0 means not an instruction start
+
+	// blockLen[pc] is the number of instructions the fast path may execute
+	// starting at pc without leaving straight-line code: 0 for pcs the fast
+	// path must not enter (SYS, HLT, non-instruction bytes), 1 for control
+	// flow, else 1 + blockLen[next pc]. Built once in New from the decoded
+	// stream.
+	blockLen []uint16
+	fastOK   bool // config admits the fast path at all (computed once)
+
+	// Fast-path telemetry. Kept off kernel.Stats so Stats stays
+	// byte-identical between dispatch modes (the differential gate).
+	fastInstrs  uint64 // instructions retired by the fast path
+	fastWindows uint64 // fast windows executed
+
+	fastCores  []*Core // scratch: cores active in the current window
+	fastCounts []int   // scratch: per-core instructions executed this window
 
 	curCore *Core // core whose thread is currently executing (for EpochChanged)
 
@@ -205,14 +251,27 @@ func New(bin *compile.Binary, k *kernel.Kernel, cfg Config) (*Machine, error) {
 	}
 	// Pre-decode the binary for fast dispatch.
 	m.decoded = make([]isa.Instr, len(bin.Code))
+	var starts []uint32
 	for pc := uint32(0); int(pc) < len(bin.Code); {
 		in, err := isa.Decode(bin.Code, pc)
 		if err != nil {
 			return nil, fmt.Errorf("vm: %w", err)
 		}
 		m.decoded[pc] = in
+		starts = append(starts, pc)
 		pc += uint32(in.Len)
 	}
+	m.buildBlockLen(starts)
+	// The fast path is admissible at all only when the configuration
+	// cannot observe per-instruction machine activity: no per-access cost
+	// charging, no debug tracing, and no schedule policy — unless
+	// DispatchFast asserts the policy-compatible fast path (see
+	// DispatchMode). Within an admissible run, trySuperstep still demotes
+	// dynamically per window.
+	m.fastOK = cfg.Dispatch != DispatchStep &&
+		cfg.Costs.AccessCheck == 0 &&
+		cfg.Debug == nil &&
+		(cfg.Dispatch == DispatchFast || cfg.Policy == nil)
 	for i := 0; i < cfg.Cores; i++ {
 		c := &Core{ID: i, WP: hw.NewRegisterFile(k.Cfg.NumWatchpoints), NextTimer: cfg.Costs.Quantum}
 		m.cores = append(m.cores, c)
@@ -283,6 +342,15 @@ type Result struct {
 	// Snapshot holds the final values of the globals a caller requested
 	// via core.RunConfig.SnapshotVars (nil otherwise).
 	Snapshot map[string]int64
+	// FastInstructions / FastWindows report fast-path residency: how many
+	// instructions retired on the basic-block fast path and in how many
+	// superstep windows. They live here, not in Stats, so Stats stays
+	// byte-identical across dispatch modes.
+	FastInstructions uint64
+	FastWindows      uint64
+	// MemHash is the FNV-1a hash of final data memory, filled only when
+	// the caller requested it (core.RunConfig.HashMemory).
+	MemHash uint64
 }
 
 // Run executes until all threads finish, MaxTicks elapses, a violation
@@ -312,6 +380,13 @@ func (m *Machine) Run() *Result {
 		}
 		if m.epochWaiters {
 			m.checkEpochWaiters()
+		}
+
+		// Tiered execution: try to retire a whole trap-free, syscall-free,
+		// event-free window of instructions in one superstep before falling
+		// back to the one-instruction-at-a-time loop below.
+		if m.fastOK {
+			m.trySuperstep()
 		}
 
 		stepped := false
@@ -386,13 +461,15 @@ func (m *Machine) Run() *Result {
 	}
 	m.Stats.Ticks = m.clock
 	return &Result{
-		Stats:      m.Stats,
-		Violations: m.K.Log.Violations,
-		Output:     m.Output,
-		Latencies:  m.Latencies,
-		Faults:     m.Faults,
-		Reason:     m.reason,
-		Ticks:      m.clock,
+		Stats:            m.Stats,
+		Violations:       m.K.Log.Violations,
+		Output:           m.Output,
+		Latencies:        m.Latencies,
+		Faults:           m.Faults,
+		Reason:           m.reason,
+		Ticks:            m.clock,
+		FastInstructions: m.fastInstrs,
+		FastWindows:      m.fastWindows,
 	}
 }
 
