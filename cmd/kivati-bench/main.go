@@ -12,6 +12,7 @@
 //	kivati-bench -all -json          # machine-readable report on stdout
 //	kivati-bench -bench-out BENCH_vm.json        # VM interpreter throughput baseline
 //	kivati-bench -bench-baseline BENCH_vm.json   # compare current VM against a baseline
+//	kivati-bench -bench-baseline BENCH_vm.json -bench-gate   # also fail on residency regression
 //
 // The independent VM runs inside each table fan out across a worker pool
 // (-parallel, default GOMAXPROCS); output is byte-identical at every
@@ -68,6 +69,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of rendered tables")
 	benchOut := flag.String("bench-out", "", "run the VM interpreter benchmark and write BENCH_vm.json-style output to this file")
 	benchBaseline := flag.String("bench-baseline", "", "compare the VM interpreter benchmark against this baseline JSON file")
+	benchGate := flag.Bool("bench-gate", false, "with -bench-baseline: exit nonzero if prevention-optimized fast residency regresses more than 5 points")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -230,6 +232,13 @@ func main() {
 					return nil, "", err
 				}
 				text += "\n" + harness.CompareVMBench(base, res)
+				if *benchGate {
+					if err := harness.GateVMBench(base, res); err != nil {
+						return nil, "", err
+					}
+				}
+			} else if *benchGate {
+				return nil, "", fmt.Errorf("-bench-gate requires -bench-baseline")
 			}
 			return res, text, nil
 		})

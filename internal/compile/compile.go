@@ -45,9 +45,13 @@ type Binary struct {
 	Globals     map[string]uint32 // global name -> address
 	InitMem     map[uint32]int64  // initial memory values (global initializers)
 	Boundary    *isa.BoundaryTable
-	SyncVars    map[string]bool // names passed to lock/unlock
-	Annotated   *annotate.Program
-	Opts        Options
+	// Footprints is the per-PC static address footprint of the straight-line
+	// suffix starting at each instruction (see footprint.go); the VM's
+	// superstep dispatcher tests it against the armed watchpoint window.
+	Footprints []isa.Footprint
+	SyncVars   map[string]bool // names passed to lock/unlock
+	Annotated  *annotate.Program
+	Opts       Options
 
 	pcpos []PCPos // sorted by PC
 }
@@ -167,6 +171,11 @@ func compileProgram(ap *annotate.Program, opts Options) (*Binary, error) {
 		return nil, fmt.Errorf("compile: preprocessing pass: %w", err)
 	}
 	bin.Boundary = bt
+	fps, err := Footprints(code)
+	if err != nil {
+		return nil, fmt.Errorf("compile: footprint pass: %w", err)
+	}
+	bin.Footprints = fps
 	return bin, nil
 }
 

@@ -1,0 +1,44 @@
+// Static basic-block address footprints (the fast path's disjointness
+// oracle). For every instruction-start PC the table holds the footprint of
+// the straight-line run the VM's superstep dispatcher may retire starting
+// there — the exact suffix the per-PC blockLen table measures: nothing for
+// kernel boundaries (the fast path never enters them), the instruction's
+// own accesses for control flow (the block's last fast instruction), and
+// the instruction's accesses unioned with the re-based suffix footprint
+// otherwise. The reverse walk mirrors vm.buildBlockLen so the two tables
+// describe the same windows.
+package compile
+
+import "kivati/internal/isa"
+
+// Footprints computes the per-PC suffix footprint table for a binary image.
+// The result is indexed by PC; entries at non-start offsets are empty.
+func Footprints(code []byte) ([]isa.Footprint, error) {
+	decoded, starts, err := isa.DecodeProgram(code)
+	if err != nil {
+		return nil, err
+	}
+	return suffixFootprints(decoded, starts), nil
+}
+
+// suffixFootprints runs the reverse walk over pre-decoded instructions.
+func suffixFootprints(decoded []isa.Instr, starts []uint32) []isa.Footprint {
+	fps := make([]isa.Footprint, len(decoded))
+	for i := len(starts) - 1; i >= 0; i-- {
+		pc := starts[i]
+		in := decoded[pc]
+		switch {
+		case in.Op.IsKernelBoundary():
+			// blockLen is 0: the fast path never executes this PC.
+		case in.Op.IsControlFlow():
+			fps[pc] = isa.InstrFootprint(in)
+		default:
+			f := isa.InstrFootprint(in)
+			if next := pc + uint32(in.Len); int(next) < len(decoded) {
+				f = f.UnionWith(fps[next].Rebase(in))
+			}
+			fps[pc] = f
+		}
+	}
+	return fps
+}

@@ -1,0 +1,367 @@
+package compile_test
+
+// Tests for the static basic-block footprint pass (the fast path's
+// disjointness oracle): unit tests for the block shapes the dispatcher
+// meets — straight-line, branch-terminated, indirect-access — and a
+// fuzz-style property test that the access set a straight-line run actually
+// executes is always contained in its static footprint evaluated at the
+// run's entry registers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"kivati/internal/compile"
+	"kivati/internal/isa"
+)
+
+func footprints(t *testing.T, build func(e *isa.Encoder)) []isa.Footprint {
+	t.Helper()
+	e := isa.NewEncoder()
+	build(e)
+	code, err := e.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	fps, err := compile.Footprints(code)
+	if err != nil {
+		t.Fatalf("Footprints: %v", err)
+	}
+	return fps
+}
+
+func TestFootprintStraightLine(t *testing.T) {
+	var sysPC uint32
+	fps := footprints(t, func(e *isa.Encoder) {
+		e.Load(1, 0x1000, 8)  // abs read [0x1000, 0x1008)
+		e.Store(0x2000, 1, 4) // abs write [0x2000, 0x2004)
+		e.MovImm(2, 7)        // no access
+		sysPC = e.PC()
+		e.Sys(isa.SysExit) // kernel boundary: block ends before it
+	})
+	f := fps[0]
+	if f.Unbounded {
+		t.Fatal("straight-line global block marked Unbounded")
+	}
+	if f.AbsLo != 0x1000 || f.AbsHi != 0x2004 {
+		t.Errorf("abs interval = [%#x, %#x), want [0x1000, 0x2004)", f.AbsLo, f.AbsHi)
+	}
+	if f.SPHi != f.SPLo || f.FPHi != f.FPLo {
+		t.Errorf("stack intervals non-empty: SP [%d,%d) FP [%d,%d)", f.SPLo, f.SPHi, f.FPLo, f.FPHi)
+	}
+	// The SYS pc itself must have an empty footprint — the fast path never
+	// dispatches it (blockLen 0).
+	if f := fps[sysPC]; !f.Empty() {
+		t.Errorf("SYS footprint = %+v, want empty", f)
+	}
+}
+
+func TestFootprintBranchTerminated(t *testing.T) {
+	var loadPC, jnzPC, storePC uint32
+	fps := footprints(t, func(e *isa.Encoder) {
+		loadPC = e.PC()
+		e.Load(1, 0x1000, 8)
+		jnzPC = e.PC()
+		e.Jnz(1, "out")
+		storePC = e.PC()
+		e.Store(0x3000, 1, 8)
+		e.Label("out")
+		e.Hlt()
+	})
+	// A control-flow instruction ends its block: its footprint is its own
+	// accesses only (none for JNZ), not the fall-through successor's.
+	if f := fps[jnzPC]; !f.Empty() {
+		t.Errorf("JNZ footprint = %+v, want empty", f)
+	}
+	// The block entered at the load spans load + branch and stops there: the
+	// store behind the branch must not leak in.
+	if f := fps[loadPC]; f.Unbounded || f.AbsLo != 0x1000 || f.AbsHi != 0x1008 {
+		t.Errorf("block footprint = %+v, want abs [0x1000, 0x1008)", f)
+	}
+	if f := fps[storePC]; f.AbsLo != 0x3000 || f.AbsHi != 0x3008 {
+		t.Errorf("store-block footprint = %+v, want abs [0x3000, 0x3008)", f)
+	}
+}
+
+func TestFootprintIndirectEscapes(t *testing.T) {
+	var topPC uint32
+	fps := footprints(t, func(e *isa.Encoder) {
+		topPC = e.PC()
+		e.MovImm(2, 0x4000)
+		e.LoadReg(1, 2, 0, 8) // pointer access through R2: untrackable
+		e.Hlt()
+	})
+	if f := fps[topPC]; !f.Unbounded {
+		t.Errorf("block with pointer access not Unbounded: %+v", f)
+	}
+}
+
+func TestFootprintStackIdioms(t *testing.T) {
+	// The compiler's prologue idiom. Relative to the entry registers the
+	// block touches [SP-16, SP): the PUSH writes [SP-8, SP) and the
+	// FP-relative store, after FP := SP-8, writes [SP-16, SP-8).
+	fps := footprints(t, func(e *isa.Encoder) {
+		e.Push(isa.RegFP)
+		e.MovReg(isa.RegFP, isa.RegSP)
+		e.AddImm(isa.RegSP, isa.RegSP, -32)
+		e.StoreReg(isa.RegFP, -8, 3, 8)
+		e.Sys(isa.SysExit)
+	})
+	f := fps[0]
+	if f.Unbounded {
+		t.Fatal("prologue block marked Unbounded")
+	}
+	if f.AbsHi != f.AbsLo {
+		t.Errorf("abs interval non-empty: [%#x, %#x)", f.AbsLo, f.AbsHi)
+	}
+	if f.SPLo != -16 || f.SPHi != 0 {
+		t.Errorf("SP interval = [%d, %d), want [-16, 0)", f.SPLo, f.SPHi)
+	}
+	if f.FPHi != f.FPLo {
+		t.Errorf("FP interval leaked through re-basing: [%d, %d)", f.FPLo, f.FPHi)
+	}
+}
+
+func TestFootprintOverwrittenSPEscapes(t *testing.T) {
+	fps := footprints(t, func(e *isa.Encoder) {
+		e.MovImm(isa.RegSP, 0x50000) // untracked SP overwrite
+		e.Push(1)                    // stack access relative to the new SP
+		e.Hlt()
+	})
+	if f := fps[0]; !f.Unbounded {
+		t.Errorf("stack access behind SP overwrite not Unbounded: %+v", f)
+	}
+}
+
+func TestCompiledBinaryHasFootprints(t *testing.T) {
+	prog, err := annotateSrc(t, `
+		int g;
+		void main() {
+			int x = 3;
+			g = x + 4;
+		}
+	`)
+	if err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	bin, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if bin.Footprints == nil {
+		t.Fatal("compiled Binary has no footprint table")
+	}
+	if len(bin.Footprints) != len(bin.Code) {
+		t.Fatalf("footprint table len %d, code len %d", len(bin.Footprints), len(bin.Code))
+	}
+	fps2, err := compile.Footprints(bin.Code)
+	if err != nil {
+		t.Fatalf("Footprints: %v", err)
+	}
+	for pc := range fps2 {
+		if fps2[pc] != bin.Footprints[pc] {
+			t.Fatalf("pc %#x: recomputed footprint %+v != stored %+v", pc, fps2[pc], bin.Footprints[pc])
+		}
+	}
+}
+
+// miniRun interprets a straight-line instruction sequence with the legacy
+// interpreter's data semantics, recording every memory access. Memory is a
+// sparse zero-default map, so the run never faults; division ops are not
+// generated.
+type miniAccess struct {
+	addr uint32
+	sz   uint8
+}
+
+func miniRun(t *testing.T, code []byte, regs *[isa.NumRegs]int64) []miniAccess {
+	t.Helper()
+	mem := map[uint32]byte{}
+	load := func(addr uint32, sz uint8) uint64 {
+		var v uint64
+		for i := uint8(0); i < sz; i++ {
+			v |= uint64(mem[addr+uint32(i)]) << (8 * i)
+		}
+		return v
+	}
+	store := func(addr uint32, sz uint8, v uint64) {
+		for i := uint8(0); i < sz; i++ {
+			mem[addr+uint32(i)] = byte(v >> (8 * i))
+		}
+	}
+	signExtend := func(v uint64, sz uint8) int64 {
+		switch sz {
+		case 1:
+			return int64(int8(v))
+		case 2:
+			return int64(int16(v))
+		case 4:
+			return int64(int32(v))
+		}
+		return int64(v)
+	}
+	var accs []miniAccess
+	r := regs
+	for pc := uint32(0); int(pc) < len(code); {
+		in, err := isa.Decode(code, pc)
+		if err != nil {
+			t.Fatalf("decode at %#x: %v", pc, err)
+		}
+		op := in.Op
+		if op.IsKernelBoundary() || op.IsControlFlow() {
+			return accs
+		}
+		switch {
+		case op == isa.OpNOP:
+		case op == isa.OpMOVQ || op == isa.OpMOVL:
+			r[in.Rd] = in.Imm
+		case op == isa.OpMOVR:
+			r[in.Rd] = r[in.Ra]
+		case op == isa.OpADD:
+			r[in.Rd] = r[in.Ra] + r[in.Rb]
+		case op == isa.OpADDI:
+			r[in.Rd] = r[in.Ra] + in.Imm
+		case op >= isa.OpLD && op < isa.OpLD+4:
+			accs = append(accs, miniAccess{in.Addr, in.Sz})
+			r[in.Rd] = signExtend(load(in.Addr, in.Sz), in.Sz)
+		case op >= isa.OpST && op < isa.OpST+4:
+			accs = append(accs, miniAccess{in.Addr, in.Sz})
+			store(in.Addr, in.Sz, uint64(r[in.Ra]))
+		case op >= isa.OpLDR && op < isa.OpLDR+4:
+			addr := uint32(r[in.Ra] + in.Imm)
+			accs = append(accs, miniAccess{addr, in.Sz})
+			r[in.Rd] = signExtend(load(addr, in.Sz), in.Sz)
+		case op >= isa.OpSTR && op < isa.OpSTR+4:
+			addr := uint32(r[in.Ra] + in.Imm)
+			accs = append(accs, miniAccess{addr, in.Sz})
+			store(addr, in.Sz, uint64(r[in.Rb]))
+		case op == isa.OpPUSH:
+			sp := uint32(r[isa.RegSP]) - 8
+			accs = append(accs, miniAccess{sp, 8})
+			r[isa.RegSP] = int64(sp)
+			store(sp, 8, uint64(r[in.Ra]))
+		case op == isa.OpPOP:
+			sp := uint32(r[isa.RegSP])
+			accs = append(accs, miniAccess{sp, 8})
+			r[in.Rd] = int64(load(sp, 8))
+			r[isa.RegSP] = int64(sp + 8)
+		case op >= isa.OpPUSHM && op < isa.OpPUSHM+4:
+			accs = append(accs, miniAccess{in.Addr, in.Sz})
+			v := signExtend(load(in.Addr, in.Sz), in.Sz)
+			sp := uint32(r[isa.RegSP]) - 8
+			accs = append(accs, miniAccess{sp, 8})
+			r[isa.RegSP] = int64(sp)
+			store(sp, 8, uint64(v))
+		default:
+			t.Fatalf("miniRun: unexpected op %v", op)
+		}
+		pc += uint32(in.Len)
+	}
+	return accs
+}
+
+// TestFootprintContainmentProperty is the fuzz-style soundness check: for
+// random straight-line sequences and random entry registers, every executed
+// access must lie inside the static footprint of the sequence's entry pc
+// (evaluated against the entry SP/FP), unless the footprint escaped to
+// Unbounded. It also pins the escape rule itself: a sequence containing a
+// general-register-based access must be Unbounded.
+func TestFootprintContainmentProperty(t *testing.T) {
+	sizes := []int{1, 2, 4, 8}
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := isa.NewEncoder()
+		hasIndirect := false
+		n := 1 + rng.Intn(24)
+		for i := 0; i < n; i++ {
+			sz := sizes[rng.Intn(4)]
+			gaddr := uint32(0x1000 + rng.Intn(0x4000))
+			switch rng.Intn(12) {
+			case 0:
+				e.MovImm(uint8(rng.Intn(16)), int64(0x20000+rng.Intn(0x100000)))
+			case 1:
+				e.MovReg(uint8(rng.Intn(16)), uint8(rng.Intn(16)))
+			case 2:
+				e.ALU(isa.OpADD, uint8(rng.Intn(14)), uint8(rng.Intn(16)), uint8(rng.Intn(16)))
+			case 3:
+				e.AddImm(uint8(rng.Intn(16)), uint8(rng.Intn(16)), int32(rng.Intn(129)-64))
+			case 4:
+				e.Load(uint8(rng.Intn(14)), gaddr, sz)
+			case 5:
+				e.Store(gaddr, uint8(rng.Intn(16)), sz)
+			case 6:
+				base := uint8(isa.RegSP)
+				if rng.Intn(2) == 0 {
+					base = isa.RegFP
+				}
+				if rng.Intn(4) == 0 {
+					base = uint8(rng.Intn(14))
+					hasIndirect = true
+				}
+				e.LoadReg(uint8(rng.Intn(14)), base, int32(rng.Intn(257)-128), sz)
+			case 7:
+				base := uint8(isa.RegSP)
+				if rng.Intn(2) == 0 {
+					base = isa.RegFP
+				}
+				if rng.Intn(4) == 0 {
+					base = uint8(rng.Intn(14))
+					hasIndirect = true
+				}
+				e.StoreReg(base, int32(rng.Intn(257)-128), uint8(rng.Intn(14)), sz)
+			case 8:
+				e.Push(uint8(rng.Intn(16)))
+			case 9:
+				e.Pop(uint8(rng.Intn(14)))
+			case 10:
+				e.PushMem(gaddr, sz)
+			case 11:
+				e.Nop()
+			}
+		}
+		e.Hlt()
+		code, err := e.Finish()
+		if err != nil {
+			t.Fatalf("seed %d: Finish: %v", seed, err)
+		}
+		fps, err := compile.Footprints(code)
+		if err != nil {
+			t.Fatalf("seed %d: Footprints: %v", seed, err)
+		}
+		f := fps[0]
+		if hasIndirect && !f.Unbounded {
+			t.Fatalf("seed %d: general-register access but footprint bounded: %+v", seed, f)
+		}
+		if f.Unbounded {
+			continue // every access is trivially covered
+		}
+
+		var regs [isa.NumRegs]int64
+		for i := range regs {
+			regs[i] = int64(0x100000 + rng.Intn(0x80000))
+		}
+		entrySP := int64(uint32(regs[isa.RegSP]))
+		entryFP := int64(uint32(regs[isa.RegFP]))
+		accs := miniRun(t, code, &regs)
+		covered := func(b int64) bool {
+			if f.AbsHi > f.AbsLo && b >= int64(f.AbsLo) && b < int64(f.AbsHi) {
+				return true
+			}
+			if f.SPHi > f.SPLo && b >= entrySP+f.SPLo && b < entrySP+f.SPHi {
+				return true
+			}
+			if f.FPHi > f.FPLo && b >= entryFP+f.FPLo && b < entryFP+f.FPHi {
+				return true
+			}
+			return false
+		}
+		for _, a := range accs {
+			for i := uint8(0); i < a.sz; i++ {
+				if !covered(int64(a.addr) + int64(i)) {
+					t.Fatalf("seed %d: access byte %#x outside footprint %+v (entry SP %#x FP %#x)",
+						seed, a.addr+uint32(i), f, entrySP, entryFP)
+				}
+			}
+		}
+	}
+}

@@ -81,9 +81,9 @@ func NewRegisterFile(n int) *RegisterFile {
 	return &RegisterFile{WPs: make([]Watchpoint, n)}
 }
 
-// recompute rebuilds the armed summary from the registers. Register count is
-// tiny (2–12) and programming a register is a kernel operation, so a full
-// rescan on mutation is cheaper than incremental bookkeeping is worth.
+// recompute rebuilds the armed summary from the registers: the slow path
+// behind Set's incremental maintenance, needed only when a disarmed or
+// reprogrammed register defined a window edge.
 func (rf *RegisterFile) recompute() {
 	rf.armed = 0
 	rf.lo, rf.hi = 0, 0
@@ -107,9 +107,14 @@ func (rf *RegisterFile) recompute() {
 	}
 }
 
-// Set programs register i. It panics on an invalid register index or size;
-// programming the debug registers is a privileged, kernel-only operation and
-// a bad argument is a kernel bug, not a recoverable condition.
+// Set programs register i, maintaining the armed summary incrementally:
+// arming a register extends the window exactly, and disarming a strictly
+// interior register only decrements the count. A full recompute happens
+// only when the outgoing register touched a window edge (its address at lo
+// or its end at hi), where the new tight edge depends on the other
+// registers. Set panics on an invalid register index or size; programming
+// the debug registers is a privileged, kernel-only operation and a bad
+// argument is a kernel bug, not a recoverable condition.
 func (rf *RegisterFile) Set(i int, wp Watchpoint) {
 	if i < 0 || i >= len(rf.WPs) {
 		panic(fmt.Sprintf("hw: watchpoint index %d out of range [0,%d)", i, len(rf.WPs)))
@@ -117,8 +122,31 @@ func (rf *RegisterFile) Set(i int, wp Watchpoint) {
 	if wp.Armed && !ValidSize(wp.Size) {
 		panic(fmt.Sprintf("hw: invalid watchpoint size %d", wp.Size))
 	}
+	old := rf.WPs[i]
 	rf.WPs[i] = wp
-	rf.recompute()
+	if old.Armed {
+		if old.Addr == rf.lo || old.Addr+uint32(old.Size) == rf.hi {
+			rf.recompute()
+			return
+		}
+		rf.armed--
+	}
+	if wp.Armed {
+		end := wp.Addr + uint32(wp.Size)
+		if rf.armed == 0 {
+			rf.lo, rf.hi = wp.Addr, end
+		} else {
+			if wp.Addr < rf.lo {
+				rf.lo = wp.Addr
+			}
+			if end > rf.hi {
+				rf.hi = end
+			}
+		}
+		rf.armed++
+	} else if rf.armed == 0 {
+		rf.lo, rf.hi = 0, 0
+	}
 }
 
 // Clear disarms register i.
@@ -148,6 +176,30 @@ func (rf *RegisterFile) Window() (lo, hi uint32, ok bool) {
 // means no Match call is needed; true means the per-register scan must run.
 func (rf *RegisterFile) MayMatch(addr uint32, sz uint8) bool {
 	return rf.armed != 0 && addr < rf.hi && rf.lo < addr+uint32(sz)
+}
+
+// MayMatchRange reports whether any access by thread tid inside the address
+// interval [lo, hi) could hit an armed register. It is the footprint-vs-window
+// disjointness predicate behind the VM's watchpoint-aware fast path: false
+// means a straight-line run confined to [lo, hi) provably cannot trap on this
+// core, whatever the access types, so the run may retire without per-access
+// checks. Registers whose LocalOf equals tid are exempt, mirroring Match.
+// Access types are ignored (conservative: a read-only watchpoint still forces
+// the checked path for a range that only writes).
+func (rf *RegisterFile) MayMatchRange(tid int, lo, hi uint32) bool {
+	if rf.armed == 0 || lo >= rf.hi || hi <= rf.lo {
+		return false
+	}
+	for i := range rf.WPs {
+		wp := &rf.WPs[i]
+		if !wp.Armed || wp.LocalOf == tid {
+			continue
+		}
+		if lo < wp.Addr+uint32(wp.Size) && wp.Addr < hi {
+			return true
+		}
+	}
+	return false
 }
 
 // Match checks an access (addr, size sz, type t) performed by thread tid

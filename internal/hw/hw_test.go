@@ -284,6 +284,186 @@ func TestMayMatchSoundness(t *testing.T) {
 	}
 }
 
+// TestSetIncrementalPaths drives Set through each branch of its incremental
+// summary maintenance — arm into an empty file, arm extending each edge, arm
+// strictly inside, disarm an interior register (the no-recompute fast path),
+// disarm each edge register (the recompute slow path), and reprogram an
+// armed register in place — checking the summary against the rescan oracle
+// after every mutation.
+func TestSetIncrementalPaths(t *testing.T) {
+	arm := func(addr uint32, sz uint8) Watchpoint {
+		return Watchpoint{Addr: addr, Size: sz, Types: ReadWrite, Armed: true, Owner: 0, LocalOf: -1}
+	}
+	rf := NewRegisterFile(4)
+
+	rf.Set(0, arm(0x100, 8)) // first arm: window seeded exactly
+	checkSummary(t, rf, "first arm")
+	rf.Set(1, arm(0x80, 4)) // extends the low edge
+	checkSummary(t, rf, "extend lo")
+	rf.Set(2, arm(0x200, 8)) // extends the high edge
+	checkSummary(t, rf, "extend hi")
+	rf.Set(3, arm(0x180, 2)) // strictly interior: no edge change
+	checkSummary(t, rf, "interior arm")
+
+	rf.Clear(3) // interior disarm: the incremental path (no recompute)
+	checkSummary(t, rf, "interior disarm")
+	if lo, hi, _ := rf.Window(); lo != 0x80 || hi != 0x208 {
+		t.Errorf("Window after interior disarm = [%#x, %#x), want [0x80, 0x208)", lo, hi)
+	}
+	rf.Clear(1) // low-edge disarm: must recompute and shrink lo
+	checkSummary(t, rf, "lo-edge disarm")
+	if lo, _, _ := rf.Window(); lo != 0x100 {
+		t.Errorf("lo after edge disarm = %#x, want 0x100", lo)
+	}
+	rf.Clear(2) // high-edge disarm: must recompute and shrink hi
+	checkSummary(t, rf, "hi-edge disarm")
+	if _, hi, _ := rf.Window(); hi != 0x108 {
+		t.Errorf("hi after edge disarm = %#x, want 0x108", hi)
+	}
+
+	// Reprogram the sole armed register (old value defines both edges) to a
+	// disjoint location: the window must move, not hull.
+	rf.Set(0, arm(0x400, 4))
+	checkSummary(t, rf, "reprogram in place")
+	if lo, hi, _ := rf.Window(); lo != 0x400 || hi != 0x404 {
+		t.Errorf("Window after reprogram = [%#x, %#x), want [0x400, 0x404)", lo, hi)
+	}
+	rf.Clear(0)
+	checkSummary(t, rf, "last disarm")
+	if rf.MayMatch(0x400, 4) {
+		t.Error("MayMatch true after last disarm")
+	}
+}
+
+// Property: after any random sequence of Set/Clear/CopyFrom the incremental
+// summary is identical to a fresh rescan of the registers (the satellite-2
+// coherence property).
+func TestSummaryCoherenceProperty(t *testing.T) {
+	sizes := []uint8{1, 2, 4, 8}
+	f := func(ops []uint32) bool {
+		rf := NewRegisterFile(4)
+		other := NewRegisterFile(4)
+		for _, op := range ops {
+			i := int(op>>2) % 4
+			switch op % 3 {
+			case 0:
+				wp := Watchpoint{
+					Addr:    (op >> 8) & 0xffff,
+					Size:    sizes[(op>>24)%4],
+					Types:   AccessType(op>>26)%3 + 1,
+					Armed:   op&(1<<28) != 0,
+					Owner:   0,
+					LocalOf: -1,
+				}
+				rf.Set(i, wp)
+				other.Set(3-i, wp)
+			case 1:
+				rf.Clear(i)
+			case 2:
+				rf.CopyFrom(other)
+			}
+			armed := 0
+			var lo, hi uint32
+			for _, wp := range rf.WPs {
+				if !wp.Armed {
+					continue
+				}
+				end := wp.Addr + uint32(wp.Size)
+				if armed == 0 {
+					lo, hi = wp.Addr, end
+				} else {
+					if wp.Addr < lo {
+						lo = wp.Addr
+					}
+					if end > hi {
+						hi = end
+					}
+				}
+				armed++
+			}
+			gotLo, gotHi, ok := rf.Window()
+			if rf.ArmedCount() != armed || ok != (armed > 0) {
+				return false
+			}
+			if ok && (gotLo != lo || gotHi != hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMayMatchRange(t *testing.T) {
+	rf := NewRegisterFile(4)
+	if rf.MayMatchRange(0, 0, ^uint32(0)) {
+		t.Error("empty file: MayMatchRange = true")
+	}
+	rf.Set(0, Watchpoint{Addr: 0x1000, Size: 8, Types: Write, Armed: true, Owner: 1, LocalOf: -1})
+	rf.Set(1, Watchpoint{Addr: 0x3000, Size: 4, Types: Read, Armed: true, Owner: 2, LocalOf: 2})
+
+	if rf.MayMatchRange(5, 0x2000, 0x3000) {
+		t.Error("range between registers reported as possible match")
+	}
+	if !rf.MayMatchRange(5, 0x1004, 0x1008) {
+		t.Error("range inside register 0 reported disjoint")
+	}
+	if !rf.MayMatchRange(5, 0, ^uint32(0)) {
+		t.Error("whole address space reported disjoint")
+	}
+	// Types are ignored: a write-only register still forces the checked
+	// path for a range (the predicate is type-blind by design).
+	if !rf.MayMatchRange(5, 0x0ff8, 0x1001) {
+		t.Error("one-byte overlap with write-only register missed")
+	}
+	// Register 1 is LocalOf thread 2: exempt for it, live for others.
+	if rf.MayMatchRange(2, 0x3000, 0x3004) {
+		t.Error("LocalOf thread not exempted")
+	}
+	if !rf.MayMatchRange(5, 0x3000, 0x3004) {
+		t.Error("remote thread not matched on register 1")
+	}
+	// Edges are half-open on both sides.
+	if rf.MayMatchRange(5, 0x1008, 0x2000) {
+		t.Error("range starting at register end matched")
+	}
+	if rf.MayMatchRange(5, 0x0f00, 0x1000) {
+		t.Error("range ending at register start matched")
+	}
+}
+
+// Property: MayMatchRange is a sound filter for Match — if any access inside
+// [lo, hi) by thread tid hits a register, MayMatchRange(tid, lo, hi) must be
+// true. This is the fast path's no-trap guarantee for footprint-disjoint
+// blocks.
+func TestMayMatchRangeSoundness(t *testing.T) {
+	sizes := []uint8{1, 2, 4, 8}
+	f := func(addrs [3]uint16, szSel [3]uint8, armedMask uint8, local int8,
+		accAddr uint16, accSzSel uint8, span uint8, tid int8) bool {
+		rf := NewRegisterFile(3)
+		for i := 0; i < 3; i++ {
+			rf.Set(i, Watchpoint{
+				Addr:    uint32(addrs[i]),
+				Size:    sizes[szSel[i]%4],
+				Types:   ReadWrite,
+				Armed:   armedMask&(1<<i) != 0,
+				Owner:   0,
+				LocalOf: int(local),
+			})
+		}
+		asz := sizes[accSzSel%4]
+		lo := uint32(accAddr)
+		hi := lo + uint32(asz) + uint32(span)
+		hit := rf.Match(int(tid), uint32(accAddr), asz, Write) >= 0
+		return !hit || rf.MayMatchRange(int(tid), lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSurveyMatchesPaperTable1(t *testing.T) {
 	if len(Survey) != 5 {
 		t.Fatalf("Survey has %d rows, want 5", len(Survey))

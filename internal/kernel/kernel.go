@@ -452,12 +452,23 @@ func (k *Kernel) HasStale() bool {
 
 // ReconcileStale frees all stale watchpoints (performed on kernel entries,
 // making the hardware consistent with the user-space copy; §3.4 opt. 2).
+// The per-register epoch bumps are kept — epoch-target arithmetic elsewhere
+// counts individual canonical changes — but cross-core propagation is
+// batched into one EpochChanged notification for the whole sweep: the
+// machine only needs to learn once that cores are behind.
 func (k *Kernel) ReconcileStale() {
+	freed := false
 	for i, m := range k.Meta {
 		if m.Stale {
 			k.Stats.StaleFrees++
-			k.disarm(i)
+			k.Canon.Clear(i)
+			k.Canon.Epoch++
+			k.Meta[i].reset()
+			freed = true
 		}
+	}
+	if freed {
+		k.M.EpochChanged()
 	}
 }
 

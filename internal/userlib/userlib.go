@@ -77,8 +77,8 @@ func Begin(k *kernel.Kernel, t int, syscallPC uint32, arID int, addr uint32, siz
 	// (optimization 1). Stale registers are only reclaimable in the
 	// kernel, so their presence forces a crossing. Elided operations here
 	// leave registers armed (live or stale), keeping the armed summary
-	// nonzero and the VM demoted from its fast path — exactly right,
-	// since those registers can still trap.
+	// nonzero so blocks whose footprint overlaps those registers keep
+	// running checked — exactly right, since they can still trap.
 	if k.Canon.ArmedCount() == len(k.Canon.WPs) {
 		if k.HasStale() {
 			return EnterKernel

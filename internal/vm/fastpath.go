@@ -1,6 +1,9 @@
 package vm
 
-import "kivati/internal/isa"
+import (
+	"kivati/internal/hw"
+	"kivati/internal/isa"
+)
 
 // This file implements the tiered-execution fast path: basic-block
 // superstep dispatch over the pre-decoded instruction stream.
@@ -9,16 +12,25 @@ import "kivati/internal/isa"
 // no watchpoint armed anywhere — must be nearly free. The legacy Run loop
 // pays full per-instruction freight for that case: a scheduler visit, a
 // timer comparison, an event-heap peek and a clock-advance computation per
-// retired instruction. The superstep collapses all of it: when no core can
-// trap, no kernel activity is due and no scheduling decision can arise,
-// the machine computes the largest window [clock, bound) in which the
-// legacy loop provably does nothing but retire straight-line instructions,
-// executes the whole window in a tight lockstep loop, and charges cost in
-// bulk. Everything observable — event delivery, timer interrupts,
-// scheduling decisions, rng consumption, per-thread instruction ticks —
-// happens at exactly the clock values the legacy loop would have used, so
-// execution is bit-identical (the differential gate in
-// fastpath_test.go holds the interpreter to that).
+// retired instruction. The superstep collapses all of it: when no kernel
+// activity is due and no scheduling decision can arise, the machine
+// computes the largest window [clock, bound) in which the legacy loop
+// provably does nothing but retire straight-line instructions, executes
+// the whole window in a tight lockstep loop, and charges cost in bulk.
+//
+// Armed watchpoints do not end the window. At every basic-block edge the
+// dispatcher compares the block's static address footprint (compile-time
+// table, evaluated against the thread's live SP/FP) with the core's armed
+// registers: a provably disjoint block retires unchecked exactly as in the
+// vanilla case, and an overlapping or unbounded block retires in *checked*
+// mode, where each access is pre-checked against the register file before
+// committing — an access that would trap bails out pre-commit and replays
+// on the legacy path, which records it and delivers the trap. Everything
+// observable — event delivery, timer interrupts, scheduling decisions,
+// traps, rng consumption, per-thread instruction ticks — happens at
+// exactly the clock values the legacy loop would have used, so execution
+// is bit-identical (the differential gate in fastpath_test.go holds the
+// interpreter to that).
 
 // buildBlockLen precomputes, for every instruction start, how many
 // instructions the fast path may retire beginning there without leaving
@@ -27,6 +39,8 @@ import "kivati/internal/isa"
 // (the block ends but the instruction itself is fast-executable), and
 // 1 + blockLen[next] otherwise. starts is the list of instruction-start
 // pcs in ascending order; the walk is in reverse so each entry is O(1).
+// compile.Footprints runs the same reverse walk, so footprint entry pc
+// covers (a superset of) the blockLen[pc] instructions dispatched from pc.
 func (m *Machine) buildBlockLen(starts []uint32) {
 	m.blockLen = make([]uint16, len(m.decoded))
 	const maxLen = ^uint16(0)
@@ -56,24 +70,28 @@ func (m *Machine) buildBlockLen(starts []uint32) {
 // one, otherwise returns leaving all state untouched so the legacy loop
 // handles the current clock. Demotion conditions (any one suffices):
 //
-//   - epoch/pause waiters exist: their wake checks are interleaved with
-//     kernel entries the window would skip;
 //   - an event is due at the current clock;
-//   - a running core has a timer interrupt due or any watchpoint armed in
-//     its local register file (stale or live — either can trap);
+//   - a running core has a timer interrupt due;
 //   - a free core exists while the run queue is non-empty (a scheduling
 //     decision, and under the built-in scheduler an rng consultation, is
 //     due at this clock).
+//
+// Armed watchpoints and epoch/pause waiters no longer demote the window.
+// Watchpoint state is frozen inside a window — register files change only
+// on kernel entries (syscalls, traps, timer interrupts), none of which
+// occur mid-window — so block-edge footprint decisions (see blockChecked)
+// hold for the whole block, and the per-tick epoch-waiter checks the
+// legacy loop would run are provably no-ops: minCoreEpoch cannot change
+// mid-window, and time-based wakes arrive via events, which bound the
+// window.
 //
 // The window bound is the earliest clock at which the legacy loop would do
 // anything besides retire an instruction: a running core's next timer
 // interrupt, a busy core's wake-up (it reschedules or resumes then), a
 // free core's next idle timer reset, the next event, and MaxTicks.
 func (m *Machine) trySuperstep() {
-	if m.epochWaiters {
-		return
-	}
 	if len(m.events) > 0 && m.events[0].tick <= m.clock {
+		m.demotions.TimerEdge++
 		return
 	}
 	t0 := m.clock
@@ -90,12 +108,17 @@ func (m *Machine) trySuperstep() {
 			continue
 		}
 		if c.Cur != nil {
-			if t0 >= c.NextTimer || c.WP.ArmedCount() != 0 {
+			if t0 >= c.NextTimer {
+				m.demotions.TimerEdge++
 				return
 			}
 			if c.NextTimer < bound {
 				bound = c.NextTimer
 			}
+			// A block decision from a previous window is stale — the
+			// register file may have changed at the intervening kernel
+			// entry — so force a fresh one at this core's first block.
+			c.fastLeft = 0
 			active = append(active, c)
 			continue
 		}
@@ -149,14 +172,15 @@ func (m *Machine) trySuperstep() {
 	loop:
 		for k := uint64(0); k < n; k++ {
 			for i, c := range active {
-				if !m.execFast(c, c.Cur) {
-					// Core i cannot proceed (kernel boundary or faulting
-					// instruction): in the legacy loop its round-k
-					// instruction commits at t0+k*instr *after* the
-					// round-k instructions of cores ordered before it,
-					// and *before* those of cores ordered after it. So
-					// cores < i keep round k; cores >= i replay it (and
-					// everything later) on the legacy path.
+				if !m.stepFastBlock(c) {
+					// Core i cannot proceed (kernel boundary, faulting
+					// instruction, or a checked access that would trap):
+					// in the legacy loop its round-k instruction commits
+					// at t0+k*instr *after* the round-k instructions of
+					// cores ordered before it, and *before* those of
+					// cores ordered after it. So cores < i keep round k;
+					// cores >= i replay it (and everything later) on the
+					// legacy path.
 					rounds, stopIdx, stopped = k, i, true
 					break loop
 				}
@@ -188,10 +212,34 @@ func (m *Machine) trySuperstep() {
 	m.fastWindows++
 }
 
+// stepFastBlock retires one instruction of core c's thread in the
+// multi-core lockstep, re-deciding checked/unchecked execution whenever the
+// core crosses a basic-block edge (fastLeft counts the instructions still
+// covered by the current decision; trySuperstep zeroes it at window
+// admission because the register file may have changed between windows).
+func (m *Machine) stepFastBlock(c *Core) bool {
+	t := c.Cur
+	if c.fastLeft == 0 {
+		pc := t.PC
+		if int(pc) >= len(m.blockLen) || m.blockLen[pc] == 0 {
+			return false
+		}
+		c.fastLeft = m.blockLen[pc]
+		c.fastChecked = m.blockChecked(c, t, pc)
+	}
+	if !m.execFast(c, t, c.fastChecked) {
+		c.fastLeft = 0
+		return false
+	}
+	c.fastLeft--
+	return true
+}
+
 // runFastSingle is the one-active-core window executor: it retires up to n
-// instructions in blockLen-sized straight-line chunks, so the per-
-// instruction "is this a kernel boundary" lookup is hoisted to block
-// edges. Returns the number of instructions retired.
+// instructions in blockLen-sized straight-line chunks, so both the "is
+// this a kernel boundary" lookup and the checked/unchecked watchpoint
+// decision are hoisted to block edges. Returns the number of instructions
+// retired.
 func (m *Machine) runFastSingle(c *Core, n uint64) uint64 {
 	t := c.Cur
 	var done uint64
@@ -204,11 +252,12 @@ func (m *Machine) runFastSingle(c *Core, n uint64) uint64 {
 		if chunk == 0 {
 			return done
 		}
+		checked := m.blockChecked(c, t, pc)
 		if chunk > n-done {
 			chunk = n - done
 		}
 		for j := uint64(0); j < chunk; j++ {
-			if !m.execFast(c, t) {
+			if !m.execFast(c, t, checked) {
 				return done + j
 			}
 		}
@@ -217,17 +266,84 @@ func (m *Machine) runFastSingle(c *Core, n uint64) uint64 {
 	return done
 }
 
+// blockChecked decides, at a basic-block edge, whether the straight-line
+// run starting at pc must execute with per-access watchpoint checks on
+// core c. False — the common case — means the block's static footprint is
+// provably disjoint from every armed register that could trap thread t, so
+// execFast may commit every access unchecked (Match would return -1 for
+// all of them). The stack components of the footprint are offsets from the
+// block's entry SP/FP, evaluated here against the thread's live registers;
+// an interval that escapes the 32-bit address space is answered
+// conservatively.
+func (m *Machine) blockChecked(c *Core, t *Thread, pc uint32) bool {
+	if c.WP.ArmedCount() == 0 {
+		return false
+	}
+	f := &m.fps[pc]
+	if f.Unbounded {
+		// An access the analysis could not bound: checked unless every
+		// armed register is exempt for this thread.
+		if c.WP.MayMatchRange(t.ID, 0, ^uint32(0)) {
+			m.demotions.Unbounded++
+			return true
+		}
+		return false
+	}
+	if f.AbsHi > f.AbsLo && c.WP.MayMatchRange(t.ID, f.AbsLo, f.AbsHi) {
+		m.demotions.ArmedOverlap++
+		return true
+	}
+	if f.SPHi > f.SPLo && m.regRangeMayMatch(c, t, t.Regs[isa.RegSP], f.SPLo, f.SPHi) {
+		m.demotions.ArmedOverlap++
+		return true
+	}
+	if f.FPHi > f.FPLo && m.regRangeMayMatch(c, t, t.Regs[isa.RegFP], f.FPLo, f.FPHi) {
+		m.demotions.ArmedOverlap++
+		return true
+	}
+	return false
+}
+
+// regRangeMayMatch evaluates a register-relative footprint interval
+// against the live base register and tests it against core c's armed
+// registers. An interval that leaves [0, 2^32) after evaluation is
+// reported as a possible match (the block's accesses would wrap or fault;
+// the checked path sorts it out exactly).
+func (m *Machine) regRangeMayMatch(c *Core, t *Thread, base int64, lo, hi int64) bool {
+	lo64 := int64(uint32(base)) + lo
+	hi64 := int64(uint32(base)) + hi
+	if lo64 < 0 || hi64 > int64(^uint32(0)) {
+		return true
+	}
+	return c.WP.MayMatchRange(t.ID, uint32(lo64), uint32(hi64))
+}
+
+// wouldTrap is the checked-mode access pre-check: it reports whether the
+// access would hit an armed register, in which case the instruction must
+// bail out pre-commit and replay on the legacy path, which records the
+// access and delivers the trap (before- or after-access, per the hardware
+// model) with identical state at the identical clock.
+func (m *Machine) wouldTrap(c *Core, t *Thread, addr uint32, sz uint8, typ hw.AccessType) bool {
+	if c.WP.Match(t.ID, addr, sz, typ) >= 0 {
+		m.demotions.WouldTrap++
+		return true
+	}
+	return false
+}
+
 // execFast retires exactly one instruction of thread t on core c with no
-// kernel interaction and no access recording (the window guarantees no
-// watchpoint is armed on the core, so no trap — before- or after-access —
-// can fire, and Match would return -1 for every committed access). It
-// returns false, leaving all machine state untouched, when the instruction
-// must execute on the legacy path instead: a kernel boundary (SYS, HLT),
-// an undecodable pc, or a faulting condition (division by zero,
-// out-of-bounds access). Stop-before semantics make the fallback exact:
-// the legacy step re-executes the instruction at the identical clock with
-// identical state.
-func (m *Machine) execFast(c *Core, t *Thread) bool {
+// kernel interaction and no access recording. In unchecked mode the caller
+// (blockChecked) has proven no access can hit an armed register; in
+// checked mode every access is pre-checked with wouldTrap before anything
+// commits — multi-access instructions (PUSHM, CALLM) check all their
+// accesses first, so a bail-out never leaves a partial commit. It returns
+// false, leaving all machine state untouched, when the instruction must
+// execute on the legacy path instead: a kernel boundary (SYS, HLT), an
+// undecodable pc, a faulting condition (division by zero, out-of-bounds
+// access), or a checked access that would trap. Stop-before semantics make
+// the fallback exact: the legacy step re-executes the instruction at the
+// identical clock with identical state.
+func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 	pc := t.PC
 	if int(pc) >= len(m.blockLen) || m.blockLen[pc] == 0 {
 		return false
@@ -255,9 +371,15 @@ func (m *Machine) execFast(c *Core, t *Thread) bool {
 		if !m.inBounds(in.Addr, in.Sz) {
 			return false
 		}
+		if checked && m.wouldTrap(c, t, in.Addr, in.Sz, hw.Read) {
+			return false
+		}
 		r[in.Rd] = signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
 	case op >= isa.OpST && op < isa.OpST+4:
 		if !m.inBounds(in.Addr, in.Sz) {
+			return false
+		}
+		if checked && m.wouldTrap(c, t, in.Addr, in.Sz, hw.Write) {
 			return false
 		}
 		m.storeRaw(in.Addr, in.Sz, uint64(r[in.Ra]))
@@ -266,10 +388,16 @@ func (m *Machine) execFast(c *Core, t *Thread) bool {
 		if !m.inBounds(addr, in.Sz) {
 			return false
 		}
+		if checked && m.wouldTrap(c, t, addr, in.Sz, hw.Read) {
+			return false
+		}
 		r[in.Rd] = signExtend(m.loadRaw(addr, in.Sz), in.Sz)
 	case op >= isa.OpSTR && op < isa.OpSTR+4:
 		addr := uint32(r[in.Ra] + in.Imm)
 		if !m.inBounds(addr, in.Sz) {
+			return false
+		}
+		if checked && m.wouldTrap(c, t, addr, in.Sz, hw.Write) {
 			return false
 		}
 		m.storeRaw(addr, in.Sz, uint64(r[in.Rb]))
@@ -278,11 +406,17 @@ func (m *Machine) execFast(c *Core, t *Thread) bool {
 		if !m.inBounds(sp, 8) {
 			return false
 		}
+		if checked && m.wouldTrap(c, t, sp, 8, hw.Write) {
+			return false
+		}
 		r[isa.RegSP] = int64(sp)
 		m.storeRaw(sp, 8, uint64(r[in.Ra]))
 	case op == isa.OpPOP:
 		sp := uint32(r[isa.RegSP])
 		if !m.inBounds(sp, 8) {
+			return false
+		}
+		if checked && m.wouldTrap(c, t, sp, 8, hw.Read) {
 			return false
 		}
 		r[in.Rd] = int64(m.loadRaw(sp, 8))
@@ -293,6 +427,10 @@ func (m *Machine) execFast(c *Core, t *Thread) bool {
 		}
 		sp := uint32(r[isa.RegSP]) - 8
 		if !m.inBounds(sp, 8) {
+			return false
+		}
+		if checked && (m.wouldTrap(c, t, in.Addr, in.Sz, hw.Read) ||
+			m.wouldTrap(c, t, sp, 8, hw.Write)) {
 			return false
 		}
 		v := signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
@@ -313,6 +451,9 @@ func (m *Machine) execFast(c *Core, t *Thread) bool {
 		if !m.inBounds(sp, 8) {
 			return false
 		}
+		if checked && m.wouldTrap(c, t, sp, 8, hw.Write) {
+			return false
+		}
 		r[isa.RegSP] = int64(sp)
 		m.storeRaw(sp, 8, uint64(nextPC))
 		nextPC = in.Addr
@@ -325,6 +466,10 @@ func (m *Machine) execFast(c *Core, t *Thread) bool {
 		if !m.inBounds(sp, 8) {
 			return false
 		}
+		if checked && (m.wouldTrap(c, t, in.Addr, 8, hw.Read) ||
+			m.wouldTrap(c, t, sp, 8, hw.Write)) {
+			return false
+		}
 		target := uint32(m.loadRaw(in.Addr, 8))
 		r[isa.RegSP] = int64(sp)
 		m.storeRaw(sp, 8, uint64(nextPC))
@@ -333,6 +478,9 @@ func (m *Machine) execFast(c *Core, t *Thread) bool {
 	case op == isa.OpRET:
 		sp := uint32(r[isa.RegSP])
 		if !m.inBounds(sp, 8) {
+			return false
+		}
+		if checked && m.wouldTrap(c, t, sp, 8, hw.Read) {
 			return false
 		}
 		nextPC = uint32(m.loadRaw(sp, 8))

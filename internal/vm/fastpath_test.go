@@ -287,6 +287,84 @@ void main() {
 	}
 }
 
+// The watchpoint-aware dispatcher must keep prevention-mode runs on the
+// fast path: armed watchpoints no longer demote whole windows, only the
+// blocks whose footprint actually overlaps them run checked. This is the
+// tentpole regression test for the residency collapse (1.2% NSS / 0.0% VLC
+// before footprints).
+func TestFastPathResidencyUnderPrevention(t *testing.T) {
+	src := `
+int a;
+int b;
+int c;
+int lk;
+int done;
+void finish() {
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void worker_b(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        b = b + 1;
+        i = i + 1;
+    }
+    finish();
+}
+void worker_c(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        c = c + 1;
+        i = i + 1;
+    }
+    finish();
+}
+void main() {
+    int i;
+    spawn(worker_b, 2000);
+    spawn(worker_c, 2000);
+    i = 0;
+    while (i < 2000) {
+        a = a + 1;
+        i = i + 1;
+    }
+    finish();
+    while (done < 3) {
+        yield();
+    }
+    print(a + b + c);
+}`
+	o := defaultRunOpts()
+	o.kcfg.Opt = kernel.OptOptimized
+	o.mcfg.MaxTicks = 50_000_000
+	_, res := runDispatch(t, src, o, DispatchAuto)
+	if res.Reason != "completed" {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+	if res.Stats.Begins == 0 {
+		t.Fatal("workload armed no watchpoints; residency under prevention not exercised")
+	}
+	resid := float64(res.FastInstructions) / float64(res.Stats.Instructions)
+	if resid < 0.8 {
+		t.Errorf("prevention-mode fast residency = %.1f%% (%d/%d), want >= 80%%",
+			100*resid, res.FastInstructions, res.Stats.Instructions)
+	}
+	// Counter plumbing: a multi-quantum run always hits timer edges, and
+	// the counters must surface on the Result.
+	if res.Demotions.TimerEdge == 0 {
+		t.Errorf("Demotions.TimerEdge = 0 over %d ticks, want > 0", res.Ticks)
+	}
+
+	// The legacy stepper records no demotions at all.
+	_, rs := runDispatch(t, src, o, DispatchStep)
+	if rs.Demotions != (Demotions{}) {
+		t.Errorf("DispatchStep recorded demotions: %+v", rs.Demotions)
+	}
+}
+
 // A schedule policy demotes DispatchAuto entirely (exploration semantics),
 // while DispatchFast keeps the fast path engaged alongside the policy.
 func TestPolicyDemotesAuto(t *testing.T) {

@@ -166,8 +166,10 @@ func (m *Machine) After(ticks uint64, fn func()) {
 
 // EpochChanged: the canonical watchpoint state changed. The executing core
 // is in the kernel and adopts immediately; the rest adopt on their next
-// kernel entry or when idle.
+// kernel entry or when idle (the coresBehind flag arms the Run loop's
+// batched idle-adoption scan).
 func (m *Machine) EpochChanged() {
+	m.coresBehind = true
 	if m.curCore != nil {
 		m.curCore.WP.CopyFrom(m.K.Canon)
 	}

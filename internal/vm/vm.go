@@ -70,8 +70,10 @@ const (
 	// it is provably equivalent to step-at-a-time execution and demotes
 	// otherwise: a schedule policy is injected, debug tracing is on, or a
 	// per-access cost is charged. Within Auto the machine still demotes
-	// dynamically whenever any watchpoint is armed anywhere or kernel
-	// activity (events, timers, scheduling) is due.
+	// dynamically whenever kernel activity (events, timers, scheduling) is
+	// due; armed watchpoints do not demote — blocks whose static footprint
+	// is disjoint from the armed registers run unchecked, the rest run
+	// with per-access pre-checks (see fastpath.go).
 	DispatchAuto DispatchMode = iota
 	// DispatchStep forces the legacy one-instruction-at-a-time loop.
 	DispatchStep
@@ -139,6 +141,14 @@ type Core struct {
 	accs        [2]access
 	nacc        int
 	trapAborted bool
+
+	// Watchpoint-aware fast path scratch: fastLeft counts the instructions
+	// still covered by the core's current block-edge decision, fastChecked
+	// is that decision (per-access checks required). trySuperstep zeroes
+	// fastLeft at window admission, since the register file may have
+	// changed at a kernel entry between windows.
+	fastLeft    uint16
+	fastChecked bool
 }
 
 type event struct {
@@ -192,10 +202,19 @@ type Machine struct {
 	blockLen []uint16
 	fastOK   bool // config admits the fast path at all (computed once)
 
+	// fps[pc] is the static address footprint of the straight-line run the
+	// fast path may retire starting at pc (the blockLen[pc] instructions) —
+	// the disjointness oracle blockChecked tests against the armed window.
+	// Taken from the Binary when the compiler produced it, recomputed
+	// otherwise; never shared mutation-wise with the Binary (harness pools
+	// share Binaries across machines).
+	fps []isa.Footprint
+
 	// Fast-path telemetry. Kept off kernel.Stats so Stats stays
 	// byte-identical between dispatch modes (the differential gate).
 	fastInstrs  uint64 // instructions retired by the fast path
 	fastWindows uint64 // fast windows executed
+	demotions   Demotions
 
 	fastCores  []*Core // scratch: cores active in the current window
 	fastCounts []int   // scratch: per-core instructions executed this window
@@ -219,6 +238,12 @@ type Machine struct {
 	reason    string
 
 	epochWaiters bool // any thread blocked on epoch/pause (cheap gate)
+
+	// coresBehind is set by EpochChanged whenever the canonical watchpoint
+	// state advances and cleared once every core has adopted it; while
+	// false, the Run loop skips the per-iteration idle-core adoption scan
+	// (lazy cross-core propagation batched at window edges).
+	coresBehind bool
 }
 
 // New creates a machine running bin under kernel k. The kernel's Machine is
@@ -250,18 +275,24 @@ func New(bin *compile.Binary, k *kernel.Kernel, cfg Config) (*Machine, error) {
 		m.storeRaw(addr, 8, uint64(v))
 	}
 	// Pre-decode the binary for fast dispatch.
-	m.decoded = make([]isa.Instr, len(bin.Code))
-	var starts []uint32
-	for pc := uint32(0); int(pc) < len(bin.Code); {
-		in, err := isa.Decode(bin.Code, pc)
+	decoded, starts, err := isa.DecodeProgram(bin.Code)
+	if err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	m.decoded = decoded
+	m.buildBlockLen(starts)
+	// Static block footprints for the watchpoint-aware fast path: use the
+	// compiler's table when present, otherwise (hand-assembled binaries)
+	// compute one here. The table is read-only from this machine's point of
+	// view, so sharing the Binary's slice across machines is safe.
+	m.fps = bin.Footprints
+	if m.fps == nil {
+		fps, err := compile.Footprints(bin.Code)
 		if err != nil {
 			return nil, fmt.Errorf("vm: %w", err)
 		}
-		m.decoded[pc] = in
-		starts = append(starts, pc)
-		pc += uint32(in.Len)
+		m.fps = fps
 	}
-	m.buildBlockLen(starts)
 	// The fast path is admissible at all only when the configuration
 	// cannot observe per-instruction machine activity: no per-access cost
 	// charging, no debug tracing, and no schedule policy — unless
@@ -330,6 +361,26 @@ func (m *Machine) Thread(tid int) *Thread { return m.threads[tid] }
 // NumThreads returns the number of threads ever created.
 func (m *Machine) NumThreads() int { return len(m.threads) }
 
+// Demotions counts, by reason, the decisions that kept work off the
+// unchecked fast path, so a residency regression is diagnosable from a
+// bench row rather than just visible in the aggregate percentage. Like the
+// other fast-path telemetry it lives outside kernel.Stats (which must stay
+// byte-identical across dispatch modes).
+type Demotions struct {
+	// ArmedOverlap: basic blocks executed in checked mode because their
+	// static footprint may overlap an armed register.
+	ArmedOverlap uint64 `json:"armed_overlap"`
+	// Unbounded: basic blocks executed in checked mode because their
+	// footprint is unbounded (indirect/pointer access, untracked SP/FP).
+	Unbounded uint64 `json:"unbounded"`
+	// TimerEdge: superstep windows refused because a timer interrupt or
+	// event was already due at window start.
+	TimerEdge uint64 `json:"timer_edge"`
+	// WouldTrap: checked-mode accesses that matched an armed register; the
+	// instruction replayed on the legacy path, which delivered the trap.
+	WouldTrap uint64 `json:"would_trap"`
+}
+
 // Result summarizes a run.
 type Result struct {
 	Stats      *kernel.Stats
@@ -348,6 +399,9 @@ type Result struct {
 	// byte-identical across dispatch modes.
 	FastInstructions uint64
 	FastWindows      uint64
+	// Demotions breaks down why work left (or never reached) the unchecked
+	// fast path; see the Demotions type.
+	Demotions Demotions
 	// MemHash is the FNV-1a hash of final data memory, filled only when
 	// the caller requested it (core.RunConfig.HashMemory).
 	MemHash uint64
@@ -372,11 +426,23 @@ func (m *Machine) Run() *Result {
 		}
 
 		// Idle cores sit in the kernel: they adopt the canonical
-		// watchpoint state immediately.
-		for _, c := range m.cores {
-			if c.Cur == nil && c.BusyUntil <= m.clock && c.WP.Epoch != m.K.Canon.Epoch {
-				c.WP.CopyFrom(m.K.Canon)
+		// watchpoint state immediately. The scan is batched behind the
+		// coresBehind flag — EpochChanged raises it whenever the canonical
+		// state advances, and it clears once every core has caught up, so
+		// a run with no watchpoint churn never pays the per-iteration loop.
+		if m.coresBehind {
+			behind := false
+			for _, c := range m.cores {
+				if c.WP.Epoch == m.K.Canon.Epoch {
+					continue
+				}
+				if c.Cur == nil && c.BusyUntil <= m.clock {
+					c.WP.CopyFrom(m.K.Canon)
+				} else {
+					behind = true
+				}
 			}
+			m.coresBehind = behind
 		}
 		if m.epochWaiters {
 			m.checkEpochWaiters()
@@ -470,6 +536,7 @@ func (m *Machine) Run() *Result {
 		Ticks:            m.clock,
 		FastInstructions: m.fastInstrs,
 		FastWindows:      m.fastWindows,
+		Demotions:        m.demotions,
 	}
 }
 
