@@ -8,13 +8,17 @@
 //	kivati-explore -bug NSS/341323              # one bug, 500 random schedules
 //	kivati-explore -all                         # the whole 11-bug corpus
 //	kivati-explore -bug NSS/341323 -strategy dfs -bound 3
+//	kivati-explore -bug NSS/341323 -strategy dfs -dpor    # prune swap-redundant schedules
+//	kivati-explore -all -engine replay          # legacy engine (fresh VM per schedule)
 //	kivati-explore -bug NSS/341323 -trace-dir traces   # record divergent schedules
 //	kivati-explore -replay traces/NSS-341323-vanilla-17.json
 //	kivati-explore -all -json                   # machine-readable report
+//	kivati-explore -bench-out BENCH_explore.json          # engine throughput sweep
+//	kivati-explore -bench-baseline BENCH_explore.json -bench-gate
 //
 // Exit status is nonzero if any prevention-mode schedule diverges from the
-// serial result (an engine bug), or if a replayed trace fails to reproduce
-// its recorded outcome.
+// serial result (an engine bug), if a replayed trace fails to reproduce
+// its recorded outcome, or if -bench-gate detects a regression.
 package main
 
 import (
@@ -28,17 +32,28 @@ import (
 
 	"kivati/internal/bugs"
 	"kivati/internal/explore"
+	"kivati/internal/harness"
 )
 
 // report is the -json output.
 type report struct {
 	Schema       string                `json:"schema"`
 	Strategy     explore.Strategy      `json:"strategy"`
+	Engine       explore.Engine        `json:"engine"`
+	DPOR         bool                  `json:"dpor,omitempty"`
 	Schedules    int                   `json:"schedules"`
 	Seed         int64                 `json:"seed"`
 	Bound        int                   `json:"bound,omitempty"`
 	Subjects     []*explore.DiffReport `json:"subjects"`
 	TotalSeconds float64               `json:"total_seconds"`
+	// SchedulesPerSec is executed schedules (subjects x 2 modes x budget)
+	// per wall-clock second; the engine counters aggregate over subjects
+	// and modes.
+	SchedulesPerSec float64 `json:"schedules_per_sec"`
+	Snapshots       int     `json:"snapshots"`
+	Restores        int     `json:"restores"`
+	Resumed         int     `json:"resumed,omitempty"`
+	Pruned          int     `json:"pruned,omitempty"`
 }
 
 func main() {
@@ -47,22 +62,24 @@ func main() {
 	strategy := flag.String("strategy", "random", "schedule strategy: random or dfs")
 	n := flag.Int("n", 500, "schedule budget per mode")
 	bound := flag.Int("bound", 3, "dfs: max preemption-point deviations")
+	horizon := flag.Int("horizon", 0, "dfs: only the first N decisions spawn children (0 = default 64)")
 	seed := flag.Int64("seed", 1, "base seed (random: schedule k uses seed+k)")
 	quantum := flag.Uint64("quantum", 0, "preemption quantum override (0 = strategy default)")
 	cores := flag.Int("cores", 1, "simulated cores")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	engine := flag.String("engine", "snapshot", "execution engine: snapshot (session reuse, fast dispatch, branch-point resume) or replay (legacy, fresh VM per schedule)")
+	dpor := flag.Bool("dpor", false, "dfs: prune swap-redundant schedules via recorded access streams (snapshot engine, single core)")
 	traceDir := flag.String("trace-dir", "", "record a replayable trace for every divergent schedule into this directory")
 	replay := flag.String("replay", "", "replay one recorded trace file and verify it reproduces")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
+	benchOut := flag.String("bench-out", "", "run the corpus engine-throughput sweep and write BENCH_explore.json-style output to this file")
+	benchBaseline := flag.String("bench-baseline", "", "compare the engine-throughput sweep against this baseline JSON file")
+	benchGate := flag.Bool("bench-gate", false, "with -bench-baseline: exit nonzero on verdict drift or an aggregate speedup under the floor")
 	flag.Parse()
 
 	if *replay != "" {
 		runReplay(*replay, *jsonOut)
 		return
-	}
-	if *bug == "" && !*all {
-		flag.Usage()
-		os.Exit(2)
 	}
 
 	opts := explore.Options{
@@ -70,9 +87,21 @@ func main() {
 		Schedules:   *n,
 		Seed:        *seed,
 		Bound:       *bound,
+		Horizon:     *horizon,
 		Quantum:     *quantum,
 		Cores:       *cores,
 		Parallelism: *parallel,
+		Engine:      explore.Engine(*engine),
+		DPOR:        *dpor,
+	}
+
+	if *benchOut != "" || *benchBaseline != "" {
+		runBench(opts, *benchOut, *benchBaseline, *benchGate, *jsonOut)
+		return
+	}
+	if *bug == "" && !*all {
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	var subjects []*explore.Subject
@@ -97,6 +126,8 @@ func main() {
 	rep := report{
 		Schema:    "kivati-explore/v1",
 		Strategy:  opts.Strategy,
+		Engine:    opts.Engine,
+		DPOR:      *dpor,
 		Schedules: *n,
 		Seed:      *seed,
 	}
@@ -119,6 +150,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "# %s: %.2fs\n", d.Subject, time.Since(t0).Seconds())
 		}
 		engineBugs += d.PreventionDivergences()
+		for _, st := range []*explore.EngineStats{d.Vanilla.Stats, d.Prevention.Stats} {
+			if st == nil {
+				continue
+			}
+			rep.Snapshots += st.Snapshots
+			rep.Restores += st.Restores
+			rep.Resumed += st.Resumed
+			rep.Pruned += st.Pruned
+		}
 		if *traceDir != "" {
 			check(os.MkdirAll(*traceDir, 0o755))
 			check(writeTraces(*traceDir, s, explore.Vanilla, opts, d.Vanilla, *jsonOut))
@@ -126,6 +166,9 @@ func main() {
 		}
 	}
 	rep.TotalSeconds = time.Since(start).Seconds()
+	if rep.TotalSeconds > 0 {
+		rep.SchedulesPerSec = float64(len(subjects)*2**n) / rep.TotalSeconds
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -135,6 +178,38 @@ func main() {
 	if engineBugs > 0 {
 		fmt.Fprintf(os.Stderr, "kivati-explore: ENGINE BUG: %d prevention-mode schedules diverged from the serial result\n", engineBugs)
 		os.Exit(1)
+	}
+}
+
+// runBench is the -bench-out / -bench-baseline path: the corpus
+// engine-throughput sweep, optionally gated against a checked-in baseline.
+func runBench(opts explore.Options, out, baseline string, gate, jsonOut bool) {
+	rep, err := harness.RunExploreBench(opts)
+	check(err)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
+	} else {
+		fmt.Print(rep.String())
+	}
+	if out != "" {
+		check(harness.WriteExploreBench(out, rep))
+	}
+	if baseline != "" {
+		base, err := harness.ReadExploreBench(baseline)
+		check(err)
+		if gate {
+			if err := harness.GateExploreBench(base, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "kivati-explore:", err)
+				os.Exit(1)
+			}
+			if !jsonOut {
+				fmt.Println("bench gate: ok")
+			}
+		}
+	} else if gate {
+		check(fmt.Errorf("-bench-gate requires -bench-baseline"))
 	}
 }
 

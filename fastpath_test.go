@@ -211,3 +211,86 @@ func TestFastPathReplay(t *testing.T) {
 		})
 	}
 }
+
+// TestFastRecordStepReplay is the inverse direction of TestFastPathReplay
+// and the property Fast-mode exploration recording rests on: a schedule
+// recorded while the fast path is active (DispatchFast, how the snapshot
+// engine records access streams) must replay under legacy one-instruction
+// dispatch with zero mismatches and a bit-identical outcome. It covers the
+// whole performance suite and the 11-bug corpus.
+func TestFastRecordStepReplay(t *testing.T) {
+	type subject struct {
+		name   string
+		source string
+		starts []core.Start
+		cfgs   []core.RunConfig
+	}
+	var subjects []subject
+	for _, spec := range workloads.PerfSuite(diffScale) {
+		if spec.Requests != nil {
+			// Open-loop request arrival draws from the machine RNG; the
+			// recorder trace alone does not pin those draws, so the
+			// record/replay property is scoped to closed workloads.
+			continue
+		}
+		subjects = append(subjects, subject{
+			name:   spec.Name,
+			source: spec.Source,
+			starts: spec.Starts,
+			cfgs: []core.RunConfig{
+				{Vanilla: true},
+				{Mode: kernel.Prevention, Opt: kernel.OptBase},
+			},
+		})
+	}
+	for _, b := range bugs.Corpus() {
+		subjects = append(subjects, subject{
+			name:   b.App + "-" + b.ID,
+			source: b.ExploreSource,
+			cfgs: []core.RunConfig{
+				{Vanilla: true},
+				{Mode: kernel.Prevention, Opt: kernel.OptBase},
+			},
+		})
+	}
+	for _, s := range subjects {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			p, err := core.Build(s.source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, base := range s.cfgs {
+				base.Seed = 1
+				base.Starts = s.starts
+				if base.MaxTicks == 0 {
+					base.MaxTicks = 20_000_000
+				}
+				name := s.name + "/vanilla"
+				if !base.Vanilla {
+					name = s.name + "/prevention"
+				}
+
+				rec := vm.NewRecorder(nil)
+				cfg := base
+				cfg.Policy = rec
+				recorded := runDispatchMode(t, p, cfg, vm.DispatchFast)
+
+				rep := vm.NewReplayer(rec.Chosen())
+				cfg2 := base
+				cfg2.Policy = rep
+				replayed := runDispatchMode(t, p, cfg2, vm.DispatchStep)
+
+				if rep.Mismatches() != 0 {
+					t.Errorf("%s: replay mismatches = %d, want 0", name, rep.Mismatches())
+				}
+				if rep.Consumed() != len(rec.Chosen()) {
+					t.Errorf("%s: replay consumed %d of %d decisions", name, rep.Consumed(), len(rec.Chosen()))
+				}
+				// assertResultsIdentical pins the first argument to zero
+				// fast-path instructions — that is the Step replay here.
+				assertResultsIdentical(t, name, replayed, recorded)
+			}
+		})
+	}
+}

@@ -1,0 +1,496 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"kivati/internal/core"
+	"kivati/internal/kernel"
+	"kivati/internal/pool"
+	"kivati/internal/vm"
+)
+
+// The snapshot execution engine.
+//
+// The replay engine (the original implementation, kept for differential
+// testing) builds a fresh kernel and an 8 MB machine for every schedule and
+// pins the VM to DispatchStep; profiling showed ~60% of its per-schedule
+// time was memory zeroing in vm.New, with most of the rest spent
+// interpreting one instruction at a time. The snapshot engine removes both
+// costs and adds branch-point resume:
+//
+//   - Each worker keeps one reusable core.Session; a schedule starts by
+//     restoring a copy-on-write snapshot (a few page copies) instead of
+//     constructing a machine.
+//   - Sessions run under vm.DispatchFast — Fast-mode recording. The tiered
+//     dispatcher consults the injected policy at exactly the ticks the
+//     step interpreter would (superstep windows are refused whenever a
+//     free core could schedule), so verdicts are identical; the
+//     record-under-Fast/replay-under-Step differential gate in the root
+//     test suite pins that equivalence down.
+//   - The DFS captures a snapshot inside Policy.Pick at the first decision
+//     past the frame's prefix and then every snapStride decisions, and each
+//     child resumes from the deepest capture at or below its branch point,
+//     replaying the short gap through its prefix, rather than re-executing
+//     the shared prefix. (Capturing at every decision was measured to cost
+//     more than it saved: a deep-horizon run would take hundreds of
+//     snapshots and use a handful.) Snapshots are machine-portable, so any
+//     worker can resume any frame.
+//
+// Mid-run resume re-enters vm.Run at the loop top, which re-executes the
+// in-flight Pick; that re-entry is only provably equivalent on a single
+// core (an idle multi-core machine could adopt canonical watchpoint state
+// at a different point than the original flow), so multi-core DFS falls
+// back to the replay engine. Random exploration restores only initial
+// (clock-0) snapshots and is safe at any core count.
+//
+// Both engines enumerate identical schedules and produce byte-identical
+// reports modulo the engine metadata fields; TestEngineEquivalence holds
+// them together.
+
+// Engine selects the execution machinery behind a campaign.
+type Engine string
+
+const (
+	// EngineSnapshot is the session-reuse engine described above (default).
+	EngineSnapshot Engine = "snapshot"
+	// EngineReplay is the legacy engine: one vm.New per schedule, every
+	// prefix re-executed from the start, DispatchStep pinned.
+	EngineReplay Engine = "replay"
+)
+
+// EngineStats reports the snapshot engine's work for one explored mode.
+type EngineStats struct {
+	// Snapshots counts mid-run branch-point snapshots captured.
+	Snapshots int `json:"snapshots"`
+	// Restores counts snapshot restores (every schedule starts with one).
+	Restores int `json:"restores"`
+	// Resumed counts schedules resumed from a mid-run branch-point
+	// snapshot rather than replayed from the initial state.
+	Resumed int `json:"resumed"`
+	// Pruned counts DFS children skipped by DPOR as swap-redundant.
+	Pruned int `json:"pruned"`
+}
+
+// engineFor resolves the effective engine for a strategy: DFS needs
+// mid-run resume, which is only single-core-safe.
+func (c *campaign) engineFor(s Strategy) Engine {
+	if c.opts.Engine == EngineSnapshot && s == DFS && c.opts.Cores != 1 {
+		return EngineReplay
+	}
+	return c.opts.Engine
+}
+
+func (c *campaign) dporOn() bool {
+	return c.opts.DPOR && c.engineFor(c.opts.Strategy) == EngineSnapshot
+}
+
+// sessionPool hands out per-worker Sessions for one mode, reusing them
+// across waves and strategies for the life of the campaign.
+type sessionPool struct {
+	c    *campaign
+	mode Mode
+	mu   sync.Mutex
+	free []*core.Session
+}
+
+func (c *campaign) pool(mode Mode) *sessionPool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pools[mode]
+	if !ok {
+		p = &sessionPool{c: c, mode: mode}
+		c.pools[mode] = p
+	}
+	return p
+}
+
+// close releases every pooled session. Campaign entry points defer it so
+// a finished campaign does not pin worker-count 8 MB machine images.
+func (c *campaign) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.pools {
+		p.mu.Lock()
+		p.free = nil
+		p.mu.Unlock()
+	}
+	c.pools = map[Mode]*sessionPool{}
+}
+
+func (p *sessionPool) get() (*core.Session, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return s, nil
+	}
+	p.mu.Unlock()
+	return p.c.newSession(p.mode)
+}
+
+func (p *sessionPool) put(s *core.Session) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// newSession mirrors runConfig for the session engine: same kernel and
+// oracle configuration, but no per-construction policy or quantum (both
+// are per-run) and the dispatcher unpinned to the fast tier.
+func (c *campaign) newSession(mode Mode) (*core.Session, error) {
+	s, err := core.NewSession(c.prog, core.RunConfig{
+		Mode:           kernel.Prevention,
+		Opt:            kernel.OptBase,
+		Vanilla:        mode == Vanilla,
+		NumWatchpoints: c.opts.Watchpoints,
+		Cores:          c.opts.Cores,
+		Seed:           c.opts.Seed,
+		MaxTicks:       c.opts.MaxTicks,
+		TimeoutTicks:   c.opts.TimeoutTicks,
+		Costs:          vm.DefaultCosts(),
+		SnapshotVars:   c.subject.SnapshotVars,
+		Dispatch:       vm.DispatchFast,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: %s [%s]: %w", c.subject.Name, mode, err)
+	}
+	if c.dporOn() {
+		// Segments past the horizon never feed a pruning decision; the
+		// slack tolerates the horizon-adjacent lookahead of the d' search.
+		s.Machine().SetSegmentLimit(c.opts.Horizon + 8)
+	}
+	return s, nil
+}
+
+// runSessionJobs mirrors pool.Run — slotted results, lowest-indexed error,
+// serial fast path on the calling goroutine — but leases each worker one
+// reusable Session from the mode's pool.
+func runSessionJobs[T any](p *sessionPool, workers int, jobs []func(*core.Session) (T, error)) ([]T, error) {
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 1 {
+		s, err := p.get()
+		if err != nil {
+			return results, err
+		}
+		defer p.put(s)
+		for i, job := range jobs {
+			res, err := job(s)
+			if err != nil {
+				return results, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s *core.Session
+			for i := range next {
+				if s == nil {
+					var err error
+					if s, err = p.get(); err != nil {
+						errs[i] = err
+						continue
+					}
+				}
+				results[i], errs[i] = jobs[i](s)
+			}
+			if s != nil {
+				p.put(s)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// sessionRun executes one full schedule from the initial state on a leased
+// session. Decisions come from the machine's absolute decision counter,
+// which matches what countingPolicy reports on the replay engine.
+func (c *campaign) sessionRun(s *core.Session, mode Mode, policy vm.SchedulePolicy, quantum uint64, seed int64) (Run, error) {
+	res, err := s.RunSchedule(policy, quantum, seed)
+	var dec int
+	if err == nil {
+		dec = int(s.Machine().SchedSeq())
+	}
+	return c.classify(mode, res, dec, quantum, seed, err)
+}
+
+// exploreRandomSessions is the random walk on the snapshot engine: same
+// seeds, policies and quanta as exploreRandom, but every schedule restores
+// a pooled session instead of building a machine.
+func (c *campaign) exploreRandomSessions(mode Mode, stats *EngineStats) ([]Run, error) {
+	p := c.pool(mode)
+	jobs := make([]func(*core.Session) (Run, error), c.opts.Schedules)
+	for k := 0; k < c.opts.Schedules; k++ {
+		k := k
+		seed := c.opts.Seed + int64(k)
+		jobs[k] = func(s *core.Session) (Run, error) {
+			policy := randomPolicy{rng: rand.New(rand.NewSource(seed))}
+			r, err := c.sessionRun(s, mode, policy, c.randomQuantum(seed), seed)
+			r.Index = k
+			return r, err
+		}
+	}
+	runs, err := runSessionJobs(p, pool.Workers(c.opts.Parallelism), jobs)
+	if err != nil {
+		return nil, err
+	}
+	stats.Restores += len(runs)
+	return runs, nil
+}
+
+// dfsFrame is one frontier entry of the snapshot DFS: the deviation prefix
+// to run plus the parent's branch-point snapshot to resume from (nil for
+// the root, which runs from the initial state).
+type dfsFrame struct {
+	prefix []int
+	snap   *vm.Snapshot
+}
+
+// framePolicy drives one DFS schedule on the snapshot engine. Decision
+// indexes are absolute (sp.Seq): a resumed run starts mid-stream at its
+// branch point, so prefix lookups, branching records and snapshot capture
+// all key on Seq rather than a local counter.
+type framePolicy struct {
+	m       *vm.Machine
+	prefix  []int
+	horizon int
+	stride  int  // capture spacing; see snapStride
+	capture bool // this run may spawn children (deviations < bound)
+
+	branching map[int]int          // decision -> branching factor, d < horizon
+	runnable  map[int][]int        // decision -> runnable thread IDs (DPOR only)
+	snaps     map[int]*vm.Snapshot // decision -> branch-point snapshot
+	err       error                // first snapshot-capture failure
+}
+
+func (p *framePolicy) Pick(sp vm.SchedPoint) int {
+	d := int(sp.Seq)
+	if d < p.horizon {
+		p.branching[d] = len(sp.Runnable)
+		if d >= len(p.prefix) {
+			if p.runnable != nil {
+				p.runnable[d] = append([]int(nil), sp.Runnable...)
+			}
+			if p.capture && p.err == nil && (d == len(p.prefix) || d%p.stride == 0) {
+				snap, err := p.m.Snapshot()
+				if err != nil {
+					p.err = err
+				} else {
+					p.snaps[d] = snap
+				}
+			}
+		}
+	}
+	if d < len(p.prefix) {
+		choice := p.prefix[d]
+		if choice < 0 || choice >= len(sp.Runnable) {
+			choice = 0
+		}
+		return choice
+	}
+	return 0
+}
+
+// exploreDFSSessions is the preemption-bounded DFS on the snapshot engine.
+// The enumeration — wave size, LIFO order, bound and horizon pruning — is
+// identical to exploreDFS; what changes is that every child resumes from
+// its parent's branch-point snapshot, and (with DPOR) swap-redundant
+// children are pruned before they are pushed.
+func (c *campaign) exploreDFSSessions(mode Mode, stats *EngineStats) ([]Run, error) {
+	quantum := c.dfsQuantum()
+	dpor := c.dporOn()
+	p := c.pool(mode)
+	workers := pool.Workers(c.opts.Parallelism)
+	stack := []dfsFrame{{prefix: []int{}}}
+	var runs []Run
+	for len(stack) > 0 && len(runs) < c.opts.Schedules {
+		n := dfsWave
+		if n > len(stack) {
+			n = len(stack)
+		}
+		if rem := c.opts.Schedules - len(runs); n > rem {
+			n = rem
+		}
+		// Pop the wave in LIFO order.
+		wave := make([]dfsFrame, n)
+		for i := 0; i < n; i++ {
+			wave[i] = stack[len(stack)-1-i]
+		}
+		stack = stack[:len(stack)-n]
+
+		type dfsResult struct {
+			run       Run
+			policy    *framePolicy
+			segs      []vm.Segment
+			decisions int
+		}
+		jobs := make([]func(*core.Session) (dfsResult, error), n)
+		for i, fr := range wave {
+			fr := fr
+			jobs[i] = func(s *core.Session) (dfsResult, error) {
+				fp := &framePolicy{
+					m:         s.Machine(),
+					prefix:    fr.prefix,
+					horizon:   c.opts.Horizon,
+					stride:    snapStride(c.opts.Horizon),
+					capture:   deviations(fr.prefix) < c.opts.Bound,
+					branching: map[int]int{},
+					snaps:     map[int]*vm.Snapshot{},
+				}
+				if dpor {
+					fp.runnable = map[int][]int{}
+				}
+				var res *vm.Result
+				var err error
+				if fr.snap == nil {
+					res, err = s.RunSchedule(fp, quantum, c.opts.Seed)
+				} else {
+					res, err = s.RunFrom(fr.snap, fp)
+				}
+				var dec int
+				if err == nil {
+					dec = int(s.Machine().SchedSeq())
+				}
+				r, rerr := c.classify(mode, res, dec, quantum, c.opts.Seed, err)
+				if rerr == nil {
+					rerr = fp.err
+				}
+				if rerr != nil {
+					return dfsResult{}, rerr
+				}
+				r.Prefix = fr.prefix
+				out := dfsResult{run: r, policy: fp, decisions: dec}
+				if dpor {
+					out.segs = append([]vm.Segment(nil), s.Machine().Segments()...)
+				}
+				return out, nil
+			}
+		}
+		results, err := runSessionJobs(p, workers, jobs)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			res.run.Index = len(runs)
+			runs = append(runs, res.run)
+			stats.Restores++
+			if wave[i].snap != nil {
+				stats.Resumed++
+			}
+			stats.Snapshots += len(res.policy.snaps)
+			// Children deviate at decision points past this prefix, within
+			// the horizon. Push deepest-first so the LIFO explores the
+			// shallowest deviation next.
+			prefix := wave[i].prefix
+			if deviations(prefix) >= c.opts.Bound {
+				continue
+			}
+			limit := res.decisions
+			if limit > c.opts.Horizon {
+				limit = c.opts.Horizon
+			}
+			stride := snapStride(c.opts.Horizon)
+			var children []dfsFrame
+			for d := len(prefix); d < limit; d++ {
+				// Deepest capture at or below d; the child replays the
+				// (< stride)-decision gap through its prefix.
+				d0 := d - d%stride
+				if d0 < len(prefix) {
+					d0 = len(prefix)
+				}
+				snap := res.policy.snaps[d0]
+				for choice := 1; choice < res.policy.branching[d]; choice++ {
+					if dpor && pruneChild(res.policy, res.segs, d, choice) {
+						stats.Pruned++
+						continue
+					}
+					child := make([]int, d+1)
+					copy(child, prefix)
+					child[d] = choice
+					children = append(children, dfsFrame{prefix: child, snap: snap})
+				}
+			}
+			for j := len(children) - 1; j >= 0; j-- {
+				stack = append(stack, children[j])
+			}
+		}
+	}
+	return runs, nil
+}
+
+// snapStride spaces branch-point captures along a DFS run. A child
+// deviating at d resumes from the deepest capture at or below d and
+// replays the gap (< stride decisions) through its prefix, so widening the
+// stride trades a bounded replay per resume for proportionally fewer
+// captures per run — a run captures ~horizon/stride snapshots instead of
+// one per decision, almost all of which would be discarded.
+func snapStride(horizon int) int {
+	if s := horizon / 16; s > 1 {
+		return s
+	}
+	return 1
+}
+
+// pruneChild is the DPOR swap-redundancy check. The candidate child
+// deviates at decision d by running thread u first. If the parent's own
+// run reached u at a later decision d', and u's transition there is
+// independent of every transition the parent executed between d and d',
+// then the child's schedule commutes u backwards across independent
+// transitions into a state the parent's subtree already covers — skip it.
+//
+// Segments are indexed so segs[i+1] is the transition executed after
+// decision i and carries its thread. The check is approximate: moving u
+// earlier can shift later quantum-timed decision points, so DPOR is
+// opt-in and its soundness is enforced empirically by the corpus gate
+// (TestDPORSoundnessOnCorpus).
+func pruneChild(fp *framePolicy, segs []vm.Segment, d, choice int) bool {
+	runnable := fp.runnable[d]
+	if choice >= len(runnable) {
+		return false
+	}
+	u := runnable[choice]
+	for dp := d; dp+1 < len(segs); dp++ {
+		sd := &segs[dp+1]
+		if sd.Thread != u {
+			continue
+		}
+		// First decision at which the parent ran u. Prune only if its
+		// transition commutes with everything in between.
+		for i := d; i < dp; i++ {
+			if !segs[i+1].Independent(sd) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

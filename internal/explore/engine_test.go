@@ -1,0 +1,153 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"kivati/internal/bugs"
+)
+
+func subjectByName(t *testing.T, app, id string) *Subject {
+	t.Helper()
+	b, err := bugs.ByID(app, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BugSubject(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// scrubEngineMeta clears the fields that legitimately differ between
+// engines, leaving everything the oracle cares about.
+func scrubEngineMeta(d *DiffReport) {
+	for _, r := range []*Report{d.Vanilla, d.Prevention} {
+		r.Engine = ""
+		r.Stats = nil
+	}
+}
+
+// TestEngineEquivalence is the engine differential: the snapshot engine
+// (session reuse, Fast-mode recording, branch-point resume) must produce a
+// byte-identical report to the legacy replay engine — same runs, same
+// decision counts, same verdicts — for both strategies, modulo the engine
+// metadata fields.
+func TestEngineEquivalence(t *testing.T) {
+	subjects := []*Subject{
+		subjectByName(t, "NSS", "341323"),
+		subjectByName(t, "Apache", "25520"),
+	}
+	for _, strat := range []Strategy{Random, DFS} {
+		for _, s := range subjects {
+			opts := Options{Strategy: strat, Schedules: 40, Seed: 7, Bound: 2, Parallelism: 2}
+			var reports [2][]byte
+			for i, eng := range []Engine{EngineReplay, EngineSnapshot} {
+				o := opts
+				o.Engine = eng
+				d, err := Differential(s, o)
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", s.Name, strat, eng, err)
+				}
+				scrubEngineMeta(d)
+				enc, err := json.Marshal(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reports[i] = enc
+			}
+			if !bytes.Equal(reports[0], reports[1]) {
+				t.Errorf("%s %s: snapshot-engine report differs from replay engine\nreplay:   %s\nsnapshot: %s",
+					s.Name, strat, reports[0], reports[1])
+			}
+		}
+	}
+}
+
+// TestDPORSoundnessOnCorpus is the empirical gate behind the approximate
+// swap-redundancy rule: over corpus bugs explored to DFS frontier
+// exhaustion, the pruned search must report every bug the unpruned search
+// reports (a vanilla divergence somewhere), identical prevention verdicts
+// (zero divergences), and — whenever anything was pruned — strictly fewer
+// executed schedules. The suite as a whole must prune something, or the
+// optimization is dead weight.
+func TestDPORSoundnessOnCorpus(t *testing.T) {
+	corpus := bugs.Corpus()
+	if testing.Short() {
+		corpus = corpus[:4]
+	}
+	totalPruned := 0
+	for _, b := range corpus {
+		b := b
+		t.Run(b.App+"_"+b.ID, func(t *testing.T) {
+			s, err := BugSubject(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A budget far above the bound-1 frontier size, so both searches
+			// exhaust the tree rather than hit the schedule cap.
+			opts := Options{Strategy: DFS, Schedules: 2000, Bound: 1, Horizon: 24, Parallelism: 2}
+
+			plain := opts
+			plain.Engine = EngineSnapshot
+			full, err := Differential(s, plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned := opts
+			pruned.Engine = EngineSnapshot
+			pruned.DPOR = true
+			dp, err := Differential(s, pruned)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(full.Vanilla.Runs) >= opts.Schedules {
+				t.Fatalf("unpruned search hit the %d-schedule budget; raise it so both sides exhaust the frontier", opts.Schedules)
+			}
+			if full.VanillaDivergences() > 0 && dp.VanillaDivergences() == 0 {
+				t.Errorf("DPOR pruned away the bug: unpruned found %d divergent schedules, pruned found 0",
+					full.VanillaDivergences())
+			}
+			if got := dp.PreventionDivergences(); got != 0 {
+				t.Errorf("pruned prevention sweep diverged %d times, want 0", got)
+			}
+			nPruned := dp.Vanilla.Stats.Pruned + dp.Prevention.Stats.Pruned
+			totalPruned += nPruned
+			if nPruned > 0 {
+				if got, want := len(dp.Vanilla.Runs)+len(dp.Prevention.Runs),
+					len(full.Vanilla.Runs)+len(full.Prevention.Runs); got >= want {
+					t.Errorf("DPOR pruned %d children but executed %d schedules vs %d unpruned",
+						nPruned, got, want)
+				}
+			}
+			t.Logf("unpruned=%d+%d pruned=%d+%d skipped=%d",
+				len(full.Vanilla.Runs), len(full.Prevention.Runs),
+				len(dp.Vanilla.Runs), len(dp.Prevention.Runs), nPruned)
+		})
+	}
+	if totalPruned == 0 {
+		t.Error("DPOR pruned nothing across the corpus; the redundancy check never fires")
+	}
+}
+
+// TestDPOROptionValidation pins the DPOR prerequisites: dfs strategy,
+// snapshot engine, single core.
+func TestDPOROptionValidation(t *testing.T) {
+	s := subjectByName(t, "NSS", "341323")
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"random strategy", Options{Strategy: Random, Schedules: 1, DPOR: true}},
+		{"replay engine", Options{Strategy: DFS, Schedules: 1, DPOR: true, Engine: EngineReplay}},
+		{"multi-core", Options{Strategy: DFS, Schedules: 1, DPOR: true, Cores: 2}},
+	}
+	for _, c := range cases {
+		if _, err := Differential(s, c.opts); err == nil {
+			t.Errorf("%s: DPOR accepted, want an error", c.name)
+		}
+	}
+}

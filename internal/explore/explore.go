@@ -25,6 +25,7 @@ package explore
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"kivati/internal/annotate"
 	"kivati/internal/bugs"
@@ -74,6 +75,11 @@ func BugSubject(b *bugs.Bug) (*Subject, error) {
 // Options configure an exploration campaign.
 type Options struct {
 	Strategy  Strategy
+	Engine    Engine // execution engine (default EngineSnapshot; see engine.go)
+	// DPOR enables dynamic partial-order reduction over the DFS: children
+	// that merely commute provably independent transitions are pruned.
+	// Requires the dfs strategy, the snapshot engine, and Cores == 1.
+	DPOR      bool
 	Schedules int   // schedule budget (default 100)
 	Seed      int64 // base seed; random schedule k runs with Seed+k
 	Bound     int   // dfs: max deviations from the default choice (default 3)
@@ -105,6 +111,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Strategy == "" {
 		o.Strategy = Random
+	}
+	if o.Engine == "" {
+		o.Engine = EngineSnapshot
 	}
 	if o.Schedules == 0 {
 		o.Schedules = 100
@@ -161,12 +170,15 @@ type Report struct {
 	Subject     string           `json:"subject"`
 	Mode        Mode             `json:"mode"`
 	Strategy    Strategy         `json:"strategy"`
+	Engine      Engine           `json:"engine,omitempty"`
 	Seed        int64            `json:"seed"`
 	Bound       int              `json:"bound,omitempty"`
 	Schedules   int              `json:"schedules"`
 	Serial      map[string]int64 `json:"serial"`
 	Runs        []Run            `json:"runs"`
 	Divergences int              `json:"divergences"`
+	// Stats reports the snapshot engine's work (nil on the replay engine).
+	Stats *EngineStats `json:"engine_stats,omitempty"`
 }
 
 // campaign carries the per-subject state shared by every run.
@@ -175,6 +187,9 @@ type campaign struct {
 	prog    *core.Program
 	opts    Options
 	serial  map[string]int64
+
+	mu    sync.Mutex
+	pools map[Mode]*sessionPool
 }
 
 func newCampaign(subject *Subject, opts Options) (*campaign, error) {
@@ -182,7 +197,17 @@ func newCampaign(subject *Subject, opts Options) (*campaign, error) {
 	if err != nil {
 		return nil, fmt.Errorf("explore: %s: %w", subject.Name, err)
 	}
-	c := &campaign{subject: subject, prog: prog, opts: opts.withDefaults()}
+	c := &campaign{subject: subject, prog: prog, opts: opts.withDefaults(), pools: map[Mode]*sessionPool{}}
+	if c.opts.DPOR {
+		switch {
+		case c.opts.Strategy != DFS:
+			return nil, fmt.Errorf("explore: %s: DPOR requires the dfs strategy", subject.Name)
+		case c.opts.Engine != EngineSnapshot:
+			return nil, fmt.Errorf("explore: %s: DPOR requires the snapshot engine", subject.Name)
+		case c.opts.Cores != 1:
+			return nil, fmt.Errorf("explore: %s: DPOR requires Cores == 1", subject.Name)
+		}
+	}
 	if err := c.serialReference(); err != nil {
 		return nil, err
 	}
@@ -228,12 +253,18 @@ func (p *countingPolicy) Pick(sp vm.SchedPoint) int {
 	return p.inner.Pick(sp)
 }
 
-// runOne executes one schedule and classifies it against the serial
-// snapshot. An incomplete run (deadlock, tick cap) is an error: every
-// fixture must terminate under every explored schedule.
+// runOne executes one schedule on the replay engine and classifies it
+// against the serial snapshot.
 func (c *campaign) runOne(mode Mode, policy vm.SchedulePolicy, quantum uint64, seed int64) (Run, error) {
 	cp := &countingPolicy{inner: policy}
 	res, err := core.Run(c.prog, c.runConfig(mode, cp, quantum, seed))
+	return c.classify(mode, res, cp.n, quantum, seed, err)
+}
+
+// classify turns one schedule's raw result into a Run verdict. An
+// incomplete run (deadlock, tick cap) is an error: every fixture must
+// terminate under every explored schedule.
+func (c *campaign) classify(mode Mode, res *vm.Result, decisions int, quantum uint64, seed int64, err error) (Run, error) {
 	if err != nil {
 		return Run{}, fmt.Errorf("explore: %s [%s]: %w", c.subject.Name, mode, err)
 	}
@@ -244,7 +275,7 @@ func (c *campaign) runOne(mode Mode, policy vm.SchedulePolicy, quantum uint64, s
 	r := Run{
 		Seed:      seed,
 		Quantum:   quantum,
-		Decisions: cp.n,
+		Decisions: decisions,
 		Snapshot:  res.Snapshot,
 		Diverged:  !snapshotsEqual(res.Snapshot, c.serial),
 		Ticks:     res.Ticks,
@@ -298,6 +329,7 @@ func Explore(subject *Subject, mode Mode, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.close()
 	return c.explore(mode)
 }
 
@@ -306,18 +338,31 @@ func (c *campaign) explore(mode Mode) (*Report, error) {
 		Subject:   c.subject.Name,
 		Mode:      mode,
 		Strategy:  c.opts.Strategy,
+		Engine:    c.engineFor(c.opts.Strategy),
 		Seed:      c.opts.Seed,
 		Schedules: c.opts.Schedules,
 		Serial:    c.serial,
+	}
+	var stats *EngineStats
+	if rep.Engine == EngineSnapshot {
+		stats = &EngineStats{}
 	}
 	var runs []Run
 	var err error
 	switch c.opts.Strategy {
 	case Random:
-		runs, err = c.exploreRandom(mode)
+		if stats != nil {
+			runs, err = c.exploreRandomSessions(mode, stats)
+		} else {
+			runs, err = c.exploreRandom(mode)
+		}
 	case DFS:
 		rep.Bound = c.opts.Bound
-		runs, err = c.exploreDFS(mode)
+		if stats != nil {
+			runs, err = c.exploreDFSSessions(mode, stats)
+		} else {
+			runs, err = c.exploreDFS(mode)
+		}
 	default:
 		return nil, fmt.Errorf("explore: unknown strategy %q", c.opts.Strategy)
 	}
@@ -325,6 +370,7 @@ func (c *campaign) explore(mode Mode) (*Report, error) {
 		return nil, err
 	}
 	rep.Runs = runs
+	rep.Stats = stats
 	for _, r := range runs {
 		if r.Diverged {
 			rep.Divergences++

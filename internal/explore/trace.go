@@ -21,8 +21,11 @@ import (
 // every oracle verdict: any divergent schedule can be re-examined from its
 // trace file alone.
 
-// TraceVersion identifies the trace file format.
-const TraceVersion = 1
+// TraceVersion identifies the trace file format. Version 2 added the
+// engine metadata (Engine, DPOR); the decision encoding is unchanged, so
+// version-1 traces remain fully replayable (see Replay) and a checked-in
+// v1 fixture keeps that promise honest.
+const TraceVersion = 2
 
 // Trace is a recorded schedule, serializable to JSON.
 type Trace struct {
@@ -32,6 +35,10 @@ type Trace struct {
 	SnapshotVars []string         `json:"snapshot_vars"`
 	Mode         Mode             `json:"mode"`
 	Strategy     Strategy         `json:"strategy"`
+	// Engine and DPOR record which machinery produced the original run
+	// (v2 metadata; replay itself is engine-independent).
+	Engine Engine `json:"engine,omitempty"`
+	DPOR   bool   `json:"dpor,omitempty"`
 	Index        int              `json:"index"`
 	Seed         int64            `json:"seed"`
 	Quantum      uint64           `json:"quantum"`
@@ -57,6 +64,7 @@ func RecordTrace(subject *Subject, mode Mode, opts Options, run Run) (*Trace, er
 	if err != nil {
 		return nil, err
 	}
+	defer c.close()
 	return c.recordTrace(mode, run)
 }
 
@@ -86,6 +94,8 @@ func (c *campaign) recordTrace(mode Mode, run Run) (*Trace, error) {
 		SnapshotVars: c.subject.SnapshotVars,
 		Mode:         mode,
 		Strategy:     c.opts.Strategy,
+		Engine:       c.opts.Engine,
+		DPOR:         c.opts.DPOR,
 		Index:        run.Index,
 		Seed:         run.Seed,
 		Quantum:      run.Quantum,
@@ -114,7 +124,7 @@ type ReplayResult struct {
 // Replay re-executes a trace and verifies it reproduces the recorded
 // outcome.
 func Replay(tr *Trace) (*ReplayResult, error) {
-	if tr.Version != TraceVersion {
+	if tr.Version != 1 && tr.Version != TraceVersion {
 		return nil, fmt.Errorf("explore: unsupported trace version %d", tr.Version)
 	}
 	subject := &Subject{Name: tr.Subject, Source: tr.Source, SnapshotVars: tr.SnapshotVars}
@@ -132,6 +142,7 @@ func Replay(tr *Trace) (*ReplayResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.close()
 	if !snapshotsEqual(c.serial, tr.Serial) {
 		return nil, fmt.Errorf("explore: %s: serial snapshot %v != trace serial %v",
 			tr.Subject, c.serial, tr.Serial)

@@ -1,0 +1,38 @@
+package explore
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceV1BackwardCompat replays a checked-in version-1 trace — recorded
+// before the engine-metadata fields existed — and requires it to reproduce
+// its recorded outcome exactly. Breaking this test means old trace archives
+// can no longer be replayed; bump TraceVersion and keep the v1 reader
+// instead.
+func TestTraceV1BackwardCompat(t *testing.T) {
+	tr, err := ReadTrace(filepath.Join("testdata", "trace_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version != 1 {
+		t.Fatalf("fixture version = %d, want 1", tr.Version)
+	}
+	if tr.Engine != "" || tr.DPOR {
+		t.Fatalf("v1 fixture carries v2 engine metadata: engine=%q dpor=%v", tr.Engine, tr.DPOR)
+	}
+	res, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict {
+		t.Fatalf("v1 trace did not reproduce: %d mismatches, snapshot=%v recorded=%v",
+			res.Mismatches, res.Run.Snapshot, tr.Snapshot)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("v1 trace replayed with %d mismatches", res.Mismatches)
+	}
+	if !res.Run.Diverged {
+		t.Fatal("fixture records a divergent schedule; replay reported no divergence")
+	}
+}

@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kivati/internal/bugs"
+	"kivati/internal/explore"
+)
+
+// ExploreBenchSchema versions the BENCH_explore.json format: the
+// schedule-exploration throughput sweep over the 11-bug corpus, comparing
+// the snapshot engine against the legacy replay (Step-pinned) engine.
+const ExploreBenchSchema = "kivati-explore/v1"
+
+// ExploreBenchRow is one corpus bug's differential sweep, run on both
+// engines. The divergence counts are deterministic (virtual clock) and
+// must agree between engines — RunExploreBench refuses to produce a row
+// where they differ; Seconds/SpeedupX are wall-clock and host-dependent.
+type ExploreBenchRow struct {
+	Bug             string  `json:"bug"`
+	Seconds         float64 `json:"seconds"`
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	SpeedupX        float64 `json:"speedup_x"`
+	// VanillaDivergences / PreventionDivergences are the oracle verdicts,
+	// identical across engines by construction.
+	VanillaDivergences    int `json:"vanilla_divergences"`
+	PreventionDivergences int `json:"prevention_divergences"`
+	// Snapshot-engine work counters, summed over both modes.
+	Snapshots int `json:"snapshots"`
+	Restores  int `json:"restores"`
+	Resumed   int `json:"resumed,omitempty"`
+	Pruned    int `json:"pruned,omitempty"`
+}
+
+// ExploreBenchReport is written to BENCH_explore.json by
+// `kivati-explore -bench-out`.
+type ExploreBenchReport struct {
+	Schema    string           `json:"schema"`
+	Strategy  explore.Strategy `json:"strategy"`
+	Engine    explore.Engine   `json:"engine"`
+	DPOR      bool             `json:"dpor,omitempty"`
+	Schedules int              `json:"schedules"` // per mode per bug
+	Seed      int64            `json:"seed"`
+	Bound     int              `json:"bound,omitempty"`
+	Rows      []ExploreBenchRow `json:"rows"`
+	// Aggregates over the whole sweep. SchedulesPerSec counts executed
+	// schedules (bugs x 2 modes x Schedules, plus serial references) per
+	// wall-clock second on each engine; SpeedupX is their ratio.
+	TotalSeconds            float64 `json:"total_seconds"`
+	BaselineSeconds         float64 `json:"baseline_seconds"`
+	SchedulesPerSec         float64 `json:"schedules_per_sec"`
+	BaselineSchedulesPerSec float64 `json:"baseline_schedules_per_sec"`
+	SpeedupX                float64 `json:"speedup_x"`
+}
+
+// RunExploreBench sweeps the corpus with the given exploration options on
+// the legacy replay engine and then on the snapshot engine, checks that the
+// oracle verdicts are identical per bug, and reports the throughput of
+// each. The options' Engine field is ignored (both run); everything else —
+// strategy, schedule budget, seed, bound, DPOR — shapes both sweeps alike,
+// except that DPOR only applies to the snapshot engine (the replay engine
+// has no access streams to prune with).
+func RunExploreBench(opts explore.Options) (*ExploreBenchReport, error) {
+	rep := &ExploreBenchReport{
+		Schema:    ExploreBenchSchema,
+		Strategy:  opts.Strategy,
+		Engine:    explore.EngineSnapshot,
+		DPOR:      opts.DPOR,
+		Schedules: opts.Schedules,
+		Seed:      opts.Seed,
+	}
+	if rep.Strategy == "" {
+		rep.Strategy = explore.Random
+	}
+	if rep.Strategy == explore.DFS {
+		rep.Bound = opts.Bound
+	}
+	for _, b := range bugs.Corpus() {
+		s, err := explore.BugSubject(b)
+		if err != nil {
+			return nil, err
+		}
+		ro := opts
+		ro.Engine = explore.EngineReplay
+		ro.DPOR = false
+		t0 := time.Now()
+		base, err := explore.Differential(s, ro)
+		if err != nil {
+			return nil, fmt.Errorf("explorebench: %s [replay]: %w", s.Name, err)
+		}
+		baseSecs := time.Since(t0).Seconds()
+
+		so := opts
+		so.Engine = explore.EngineSnapshot
+		t1 := time.Now()
+		cur, err := explore.Differential(s, so)
+		if err != nil {
+			return nil, fmt.Errorf("explorebench: %s [snapshot]: %w", s.Name, err)
+		}
+		secs := time.Since(t1).Seconds()
+
+		if cur.VanillaDivergences() != base.VanillaDivergences() ||
+			cur.PreventionDivergences() != base.PreventionDivergences() {
+			return nil, fmt.Errorf(
+				"explorebench: %s: engine verdicts disagree: snapshot %d/%d vs replay %d/%d",
+				s.Name, cur.VanillaDivergences(), cur.PreventionDivergences(),
+				base.VanillaDivergences(), base.PreventionDivergences())
+		}
+		row := ExploreBenchRow{
+			Bug:                   s.Name,
+			Seconds:               secs,
+			BaselineSeconds:       baseSecs,
+			SpeedupX:              baseSecs / secs,
+			VanillaDivergences:    cur.VanillaDivergences(),
+			PreventionDivergences: cur.PreventionDivergences(),
+		}
+		for _, st := range []*explore.EngineStats{cur.Vanilla.Stats, cur.Prevention.Stats} {
+			if st == nil {
+				continue
+			}
+			row.Snapshots += st.Snapshots
+			row.Restores += st.Restores
+			row.Resumed += st.Resumed
+			row.Pruned += st.Pruned
+		}
+		rep.Rows = append(rep.Rows, row)
+		rep.TotalSeconds += secs
+		rep.BaselineSeconds += baseSecs
+	}
+	sched := float64(len(rep.Rows) * 2 * opts.Schedules)
+	if rep.TotalSeconds > 0 {
+		rep.SchedulesPerSec = sched / rep.TotalSeconds
+	}
+	if rep.BaselineSeconds > 0 {
+		rep.BaselineSchedulesPerSec = sched / rep.BaselineSeconds
+	}
+	if rep.SchedulesPerSec > 0 && rep.BaselineSchedulesPerSec > 0 {
+		rep.SpeedupX = rep.SchedulesPerSec / rep.BaselineSchedulesPerSec
+	}
+	return rep, nil
+}
+
+func (r *ExploreBenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Exploration throughput (%s, strategy=%s, %d schedules/mode)\n",
+		r.Schema, r.Strategy, r.Schedules)
+	fmt.Fprintf(&b, "%-14s %9s %9s %8s %6s %6s %10s %9s %7s %7s\n",
+		"Bug", "replay_s", "snap_s", "speedup", "vdiv", "pdiv",
+		"snapshots", "restores", "resume", "pruned")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %9.2f %9.2f %7.1fx %6d %6d %10d %9d %7d %7d\n",
+			row.Bug, row.BaselineSeconds, row.Seconds, row.SpeedupX,
+			row.VanillaDivergences, row.PreventionDivergences,
+			row.Snapshots, row.Restores, row.Resumed, row.Pruned)
+	}
+	fmt.Fprintf(&b, "total: %.1f sched/s vs %.1f sched/s baseline = %.1fx\n",
+		r.SchedulesPerSec, r.BaselineSchedulesPerSec, r.SpeedupX)
+	return b.String()
+}
+
+// WriteExploreBench writes the report as indented JSON.
+func WriteExploreBench(path string, r *ExploreBenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadExploreBench loads a baseline report, validating the schema tag.
+func ReadExploreBench(path string) (*ExploreBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ExploreBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("explorebench: %s: %w", path, err)
+	}
+	if r.Schema != ExploreBenchSchema {
+		return nil, fmt.Errorf("explorebench: %s: schema %q, want %q", path, r.Schema, ExploreBenchSchema)
+	}
+	return &r, nil
+}
+
+// ExploreBenchGateMinSpeedup is the wall-clock floor GateExploreBench
+// enforces on the aggregate snapshot-vs-replay speedup. It is set well
+// below the measured speedup so host noise cannot fail a healthy build
+// while a change that forfeits the engine's advantage still does.
+const ExploreBenchGateMinSpeedup = 2.0
+
+// GateExploreBench is the enforcing regression check. Deterministic
+// columns gate hard: the current sweep must report exactly the baseline's
+// vanilla divergence count for every bug and zero prevention divergences
+// anywhere. The wall-clock gate is a floor on the aggregate speedup
+// measured on the current host (baseline wall numbers are from a different
+// host and are not compared). Bugs absent from the baseline pass — a new
+// corpus entry needs a refreshed baseline, not a red build.
+func GateExploreBench(baseline, current *ExploreBenchReport) error {
+	if baseline.Strategy != current.Strategy || baseline.Schedules != current.Schedules ||
+		baseline.Seed != current.Seed || baseline.Bound != current.Bound {
+		return fmt.Errorf("explorebench gate: configuration mismatch: baseline %s/%d/seed%d/bound%d vs current %s/%d/seed%d/bound%d",
+			baseline.Strategy, baseline.Schedules, baseline.Seed, baseline.Bound,
+			current.Strategy, current.Schedules, current.Seed, current.Bound)
+	}
+	base := make(map[string]ExploreBenchRow, len(baseline.Rows))
+	for _, row := range baseline.Rows {
+		base[row.Bug] = row
+	}
+	var fails []string
+	for _, row := range current.Rows {
+		if row.PreventionDivergences != 0 {
+			fails = append(fails, fmt.Sprintf("%s: %d prevention-mode divergences (engine bug)",
+				row.Bug, row.PreventionDivergences))
+		}
+		old, ok := base[row.Bug]
+		if !ok {
+			continue
+		}
+		if row.VanillaDivergences != old.VanillaDivergences {
+			fails = append(fails, fmt.Sprintf("%s: vanilla divergences %d, baseline %d",
+				row.Bug, row.VanillaDivergences, old.VanillaDivergences))
+		}
+	}
+	if current.SpeedupX < ExploreBenchGateMinSpeedup {
+		fails = append(fails, fmt.Sprintf("aggregate speedup %.2fx under the %.1fx floor",
+			current.SpeedupX, ExploreBenchGateMinSpeedup))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("explorebench gate:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
+}

@@ -124,8 +124,13 @@ type Machine interface {
 	Boundary() *isa.BoundaryTable
 	DecodeAt(pc uint32) (isa.Instr, bool)
 
-	// After schedules fn to run at Now()+ticks.
+	// After schedules fn to run at Now()+ticks. Pending closures make a
+	// machine unsnapshottable, so kernel timers use AfterTimeout instead.
 	After(ticks uint64, fn func())
+	// AfterTimeout schedules TimeoutWP(wpIdx, gen) to run at Now()+ticks,
+	// stored by the VM as plain data so pending suspension timeouts can be
+	// captured and restored by machine snapshots.
+	AfterTimeout(ticks uint64, wpIdx int, gen uint64)
 	// EpochChanged tells the VM the canonical watchpoint state changed:
 	// the executing core adopts immediately, others on their next kernel
 	// entry.

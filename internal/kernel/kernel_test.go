@@ -24,6 +24,9 @@ type mockMachine struct {
 	boundary *isa.BoundaryTable
 	decoded  map[uint32]isa.Instr
 	lastPC   map[int]uint32
+
+	k            *Kernel // for AfterTimeout delivery
+	epochChanges int     // EpochChanged calls (lazy-propagation batching)
 }
 
 func newMock() *mockMachine {
@@ -85,7 +88,13 @@ func (m *mockMachine) After(ticks uint64, fn func()) {
 		fn func()
 	}{m.now + ticks, fn})
 }
-func (m *mockMachine) EpochChanged() {}
+func (m *mockMachine) AfterTimeout(ticks uint64, wpIdx int, gen uint64) {
+	m.events = append(m.events, struct {
+		at uint64
+		fn func()
+	}{m.now + ticks, func() { m.k.TimeoutWP(wpIdx, gen) }})
+}
+func (m *mockMachine) EpochChanged() { m.epochChanges++ }
 
 // advance runs events due by the new time.
 func (m *mockMachine) advance(to uint64) {
@@ -104,6 +113,7 @@ func (m *mockMachine) advance(to uint64) {
 func newKernelWithMock(cfg Config) (*Kernel, *mockMachine) {
 	k := New(cfg, nil, nil, nil)
 	m := newMock()
+	m.k = k
 	k.SetMachine(m)
 	return k, m
 }

@@ -1,0 +1,61 @@
+package kernel
+
+import (
+	"testing"
+
+	"kivati/internal/hw"
+)
+
+// TestReconcileStaleBatchesEpochChanged pins the lazy-propagation batching
+// contract: a sweep that frees several stale watchpoints bumps the
+// canonical epoch once per freed register (epoch-target arithmetic counts
+// individual changes) but notifies the machine exactly once — idle cores
+// only need to learn once that they are behind.
+func TestReconcileStaleBatchesEpochChanged(t *testing.T) {
+	k, m := newKernelWithMock(Config{NumWatchpoints: 4, Opt: OptOptimized})
+	addrs := []uint32{0x100, 0x200, 0x300}
+	for i, addr := range addrs {
+		k.BeginAtomic(1, 0, i+1, addr, 8, hw.Write, hw.Read)
+	}
+	for i := range addrs {
+		ar := k.FindAR(1, i+1)
+		if ar == nil {
+			t.Fatalf("AR %d not recorded", i+1)
+		}
+		k.DetachUser(ar)
+	}
+	for i := range addrs {
+		if !k.Meta[i].Stale {
+			t.Fatalf("wp %d not stale after user detach", i)
+		}
+	}
+
+	epochBefore := k.Canon.Epoch
+	notifyBefore := m.epochChanges
+	k.ReconcileStale()
+
+	if got := k.Stats.StaleFrees; got != uint64(len(addrs)) {
+		t.Errorf("StaleFrees = %d, want %d", got, len(addrs))
+	}
+	if got := k.Canon.Epoch - epochBefore; got != uint64(len(addrs)) {
+		t.Errorf("epoch advanced by %d, want one bump per freed register (%d)", got, len(addrs))
+	}
+	if got := m.epochChanges - notifyBefore; got != 1 {
+		t.Errorf("EpochChanged called %d times for the sweep, want exactly 1", got)
+	}
+	for i := range addrs {
+		if k.Canon.WPs[i].Armed {
+			t.Errorf("wp %d still armed after reconcile", i)
+		}
+	}
+
+	// A sweep with nothing stale must not notify at all: runs without
+	// watchpoint churn never re-arm the idle-core adoption scan.
+	notifyBefore = m.epochChanges
+	epochBefore = k.Canon.Epoch
+	k.ReconcileStale()
+	if m.epochChanges != notifyBefore || k.Canon.Epoch != epochBefore {
+		t.Errorf("no-op reconcile notified (epoch %d->%d, calls %d->%d)",
+			epochBefore, k.Canon.Epoch, notifyBefore, m.epochChanges)
+	}
+}

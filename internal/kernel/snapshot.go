@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"kivati/internal/hw"
+)
+
+// Deep-copy snapshots of all mutable kernel state, used by the VM's
+// machine snapshots (vm.Machine.Snapshot). A kernel snapshot is copied
+// OUT on capture and copied back IN on restore, so one snapshot can be
+// restored any number of times — and onto a different Kernel instance, as
+// long as it was built with the same Config (same watchpoint count).
+//
+// ActiveAR instances are shared by pointer between the per-watchpoint
+// metadata (Meta[i].ARs) and the per-thread tables; the copies preserve
+// that aliasing through an identity map so FindAR/detach/FreeWP keep
+// operating on one object per dynamic AR after a restore.
+
+// Snapshot is a deep copy of the kernel's mutable state.
+type Snapshot struct {
+	canon        *hw.RegisterFile
+	meta         []WPMeta
+	threads      map[int]*threadState
+	mutexes      map[uint32]mutex
+	begins       uint64
+	beginRetries map[[2]int]int
+	stats        Stats
+}
+
+type arMap map[*ActiveAR]*ActiveAR
+
+func (am arMap) clone(ar *ActiveAR) *ActiveAR {
+	if ar == nil {
+		return nil
+	}
+	if c, ok := am[ar]; ok {
+		return c
+	}
+	c := new(ActiveAR)
+	*c = *ar
+	c.Remotes = append([]RemoteRec(nil), ar.Remotes...)
+	am[ar] = c
+	return c
+}
+
+func (am arMap) cloneSlice(ars []*ActiveAR) []*ActiveAR {
+	if ars == nil {
+		return nil
+	}
+	out := make([]*ActiveAR, len(ars))
+	for i, ar := range ars {
+		out[i] = am.clone(ar)
+	}
+	return out
+}
+
+func cloneMeta(src []*WPMeta, am arMap) []WPMeta {
+	out := make([]WPMeta, len(src))
+	for i, m := range src {
+		out[i] = *m
+		out[i].ARs = am.cloneSlice(m.ARs)
+		out[i].TrapSuspended = append([]int(nil), m.TrapSuspended...)
+		out[i].BeginSuspended = append([]int(nil), m.BeginSuspended...)
+	}
+	return out
+}
+
+func cloneThreads(src map[int]*threadState, am arMap) map[int]*threadState {
+	out := make(map[int]*threadState, len(src))
+	for tid, ts := range src {
+		c := &threadState{
+			ARs:      am.cloneSlice(ts.ARs),
+			TimedOut: make(map[int]*ActiveAR, len(ts.TimedOut)),
+		}
+		for id, ar := range ts.TimedOut {
+			c.TimedOut[id] = am.clone(ar)
+		}
+		out[tid] = c
+	}
+	return out
+}
+
+func cloneStats(s *Stats) Stats {
+	c := *s
+	if s.MissedByAR != nil {
+		c.MissedByAR = make(map[int]uint64, len(s.MissedByAR))
+		for id, n := range s.MissedByAR {
+			c.MissedByAR[id] = n
+		}
+	}
+	return c
+}
+
+// Snapshot deep-copies the kernel's mutable state.
+func (k *Kernel) Snapshot() *Snapshot {
+	am := arMap{}
+	s := &Snapshot{
+		canon:        hw.NewRegisterFile(len(k.Canon.WPs)),
+		meta:         cloneMeta(k.Meta, am),
+		threads:      cloneThreads(k.threads, am),
+		mutexes:      make(map[uint32]mutex, len(k.mutexes)),
+		begins:       k.begins,
+		beginRetries: make(map[[2]int]int, len(k.beginRetries)),
+		stats:        cloneStats(k.Stats),
+	}
+	s.canon.CopyFrom(k.Canon)
+	for addr, mu := range k.mutexes {
+		c := *mu
+		c.waiters = append([]int(nil), mu.waiters...)
+		s.mutexes[addr] = c
+	}
+	for key, n := range k.beginRetries {
+		s.beginRetries[key] = n
+	}
+	return s
+}
+
+// Restore rewinds the kernel to a snapshot (deep copy back in; the
+// snapshot stays pristine and can be restored again). Canon, Meta entries
+// and Stats keep their identities — only their contents are replaced — so
+// references held by the VM and user library stay valid.
+func (k *Kernel) Restore(s *Snapshot) {
+	am := arMap{}
+	k.Canon.CopyFrom(s.canon)
+	metaPtrs := make([]*WPMeta, len(s.meta))
+	for i := range s.meta {
+		metaPtrs[i] = &s.meta[i]
+	}
+	fresh := cloneMeta(metaPtrs, am)
+	for i := range k.Meta {
+		*k.Meta[i] = fresh[i]
+	}
+	k.threads = cloneThreads(s.threads, am)
+	k.mutexes = make(map[uint32]*mutex, len(s.mutexes))
+	for addr, mu := range s.mutexes {
+		c := mu
+		c.waiters = append([]int(nil), mu.waiters...)
+		k.mutexes[addr] = &c
+	}
+	k.begins = s.begins
+	k.beginRetries = make(map[[2]int]int, len(s.beginRetries))
+	for key, n := range s.beginRetries {
+		k.beginRetries[key] = n
+	}
+	*k.Stats = cloneStats(&s.stats)
+}

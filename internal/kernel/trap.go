@@ -270,11 +270,13 @@ func (k *Kernel) armTimeout(wpIdx int) {
 		return
 	}
 	m.TimeoutArmed = true
-	gen := m.Gen
-	k.M.After(k.Cfg.TimeoutTicks, func() { k.timeoutWP(wpIdx, gen) })
+	k.M.AfterTimeout(k.Cfg.TimeoutTicks, wpIdx, m.Gen)
 }
 
-func (k *Kernel) timeoutWP(wpIdx int, gen uint64) {
+// TimeoutWP delivers a suspension timeout armed by armTimeout. It is
+// exported for the VM's typed timer events; gen guards against the
+// watchpoint having been freed (and possibly re-armed) since arming.
+func (k *Kernel) TimeoutWP(wpIdx int, gen uint64) {
 	m := k.Meta[wpIdx]
 	if m.Gen != gen {
 		return // freed and possibly re-armed since

@@ -65,6 +65,24 @@ func (l *Log) Add(v Violation) bool {
 // StopRequested reports whether a violation callback asked to stop.
 func (l *Log) StopRequested() bool { return l.stop }
 
+// LogState is a point-in-time copy of a Log, used by machine snapshots.
+type LogState struct {
+	Violations []Violation
+	Stop       bool
+}
+
+// SaveState deep-copies the log's current contents.
+func (l *Log) SaveState() LogState {
+	return LogState{Violations: append([]Violation(nil), l.Violations...), Stop: l.stop}
+}
+
+// RestoreState rewinds the log to a previously saved state. The callback is
+// not re-invoked for restored entries.
+func (l *Log) RestoreState(s LogState) {
+	l.Violations = append(l.Violations[:0], s.Violations...)
+	l.stop = s.Stop
+}
+
 // UniqueARs returns the distinct AR IDs with at least one violation, sorted.
 // The paper counts false positives as unique violated atomic regions (§4.2).
 func (l *Log) UniqueARs() []int {

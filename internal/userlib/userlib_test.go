@@ -32,6 +32,7 @@ func (m *stubMachine) Store(uint32, uint8, uint64)       {}
 func (m *stubMachine) Boundary() *isa.BoundaryTable      { bt, _ := isa.Preprocess(nil, nil); return bt }
 func (m *stubMachine) DecodeAt(uint32) (isa.Instr, bool) { return isa.Instr{}, false }
 func (m *stubMachine) After(uint64, func())              {}
+func (m *stubMachine) AfterTimeout(uint64, int, uint64)  {}
 func (m *stubMachine) EpochChanged()                     {}
 
 func newK(opt kernel.OptLevel, wl *whitelist.Whitelist) *kernel.Kernel {

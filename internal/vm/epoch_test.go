@@ -1,0 +1,48 @@
+package vm
+
+import "testing"
+
+// epochSrc is single-threaded on purpose: with two cores configured, the
+// second core never runs a thread, so the only way its watchpoint replica
+// can follow the canonical state is the Run loop's batched idle-core
+// adoption scan. If that scan broke, the first begin_atomic would deadlock
+// waiting for the idle core's epoch (waitForEpoch blocks on minCoreEpoch).
+const epochSrc = `
+int shared;
+void main() {
+    int i;
+    i = 0;
+    while (i < 8) {
+        shared = shared + 1;
+        i = i + 1;
+    }
+    print(shared);
+}
+`
+
+// TestIdleCoreAdoptsEpoch exercises the coresBehind-gated adoption scan:
+// every canonical epoch advance must eventually reach cores that never
+// enter the kernel on their own, and the scan flag must settle once they
+// have caught up.
+func TestIdleCoreAdoptsEpoch(t *testing.T) {
+	o := defaultRunOpts()
+	m, res := run(t, epochSrc, o)
+	if res.Reason != "completed" {
+		t.Fatalf("reason = %q, stats = %+v", res.Reason, *res.Stats)
+	}
+	if res.Stats.MonitoredARs == 0 {
+		t.Fatal("no atomic regions were monitored; the test exercises nothing")
+	}
+	if m.K.Canon.Epoch == 0 {
+		t.Fatal("canonical epoch never advanced; no watchpoint churn happened")
+	}
+	for i, c := range m.cores {
+		if c.WP.Epoch != m.K.Canon.Epoch {
+			t.Errorf("core %d epoch = %d, canonical = %d: idle-core adoption scan missed it",
+				i, c.WP.Epoch, m.K.Canon.Epoch)
+		}
+	}
+	if m.coresBehind {
+		t.Error("coresBehind still set after every core caught up")
+	}
+}

@@ -274,6 +274,9 @@ func (m *Machine) step(c *Core) {
 
 // abortCost is charged when a before-access trap aborts an instruction.
 func (m *Machine) finishAbort(c *Core, t *Thread, cost uint64) {
+	if m.segRecording() {
+		m.seg.Global = true
+	}
 	cost += m.cfg.Costs.Trap
 	c.BusyUntil = m.clock + cost
 	if t.State != stRunning && t.OnCore == c.ID {
@@ -287,6 +290,11 @@ func (m *Machine) finishAbort(c *Core, t *Thread, cost uint64) {
 // against the core's watchpoint registers, and delivers at most one trap.
 func (m *Machine) finish(c *Core, t *Thread, cost uint64, accs []access) {
 	cost += m.cfg.Costs.AccessCheck * uint64(len(accs))
+	if m.segRecording() {
+		for _, a := range accs {
+			m.segAccess(a.addr, a.sz, a.typ)
+		}
+	}
 	for _, a := range accs {
 		if idx := c.WP.Match(t.ID, a.addr, a.sz, a.typ); idx >= 0 {
 			// Trap: a kernel entry. The core adopts the canonical
@@ -295,6 +303,11 @@ func (m *Machine) finish(c *Core, t *Thread, cost uint64, accs []access) {
 			cost += m.cfg.Costs.Trap
 			c.WP.CopyFrom(m.K.Canon)
 			m.checkEpochWaiters()
+			if m.segRecording() {
+				// Trap handling mutates kernel state the access stream
+				// does not describe; the segment conflicts with all.
+				m.seg.Global = true
+			}
 			m.K.HandleTrap(t.ID, t.PC, kernel.Access{Addr: a.addr, Size: a.sz, Type: a.typ}, idx)
 			break
 		}
@@ -330,6 +343,13 @@ func signExtend(v uint64, sz uint8) int64 {
 // sysPC is the PC of the SYS instruction (threads suspended in begin_atomic
 // are rewound to it for retry).
 func (m *Machine) syscall(c *Core, t *Thread, sysPC uint32, n int) uint64 {
+	if m.segRecording() {
+		// Every syscall touches kernel/scheduler state (locks, AR tables,
+		// run queues) outside the recorded access stream: treat the whole
+		// segment as conflicting with everything rather than modeling
+		// per-syscall effects.
+		m.seg.Global = true
+	}
 	enterKernel := func() {
 		c.WP.CopyFrom(m.K.Canon)
 		m.checkEpochWaiters()

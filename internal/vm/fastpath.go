@@ -226,6 +226,9 @@ func (m *Machine) stepFastBlock(c *Core) bool {
 		}
 		c.fastLeft = m.blockLen[pc]
 		c.fastChecked = m.blockChecked(c, t, pc)
+		if m.segRecording() {
+			m.segBlockFootprint(t, pc)
+		}
 	}
 	if !m.execFast(c, t, c.fastChecked) {
 		c.fastLeft = 0
@@ -253,6 +256,9 @@ func (m *Machine) runFastSingle(c *Core, n uint64) uint64 {
 			return done
 		}
 		checked := m.blockChecked(c, t, pc)
+		if m.segRecording() {
+			m.segBlockFootprint(t, pc)
+		}
 		if chunk > n-done {
 			chunk = n - done
 		}

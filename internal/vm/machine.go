@@ -59,15 +59,11 @@ func (m *Machine) Resume(tid int) {
 }
 
 // SetWakeAt arms a time-based wake condition for BlockPause/BlockSleep.
+// The pending wake is pure data (evWake) so snapshots can capture it.
 func (m *Machine) SetWakeAt(tid int, tick uint64) {
 	t := m.threads[tid]
 	t.WakeAt = tick
-	m.After(tick-m.clock, func() {
-		if t.State == stBlocked && (t.Block == kernel.BlockPause || t.Block == kernel.BlockSleep) {
-			t.WakeAt = 0
-			m.tryWake(t)
-		}
-	})
+	m.pushEvent(event{tick: tick, kind: evWake, a: uint64(tid)})
 }
 
 // SetEpochTarget arms an epoch-based wake condition for BlockEpoch.
@@ -158,10 +154,24 @@ func (m *Machine) DecodeAt(pc uint32) (isa.Instr, bool) {
 	return m.decoded[pc], true
 }
 
-// After schedules fn at Now()+ticks.
-func (m *Machine) After(ticks uint64, fn func()) {
+// pushEvent enqueues a timer event, stamping its tie-break sequence.
+func (m *Machine) pushEvent(ev event) {
 	m.eventSeq++
-	heap.Push(&m.events, event{tick: m.clock + ticks, seq: m.eventSeq, fn: fn})
+	ev.seq = m.eventSeq
+	heap.Push(&m.events, ev)
+}
+
+// After schedules fn at Now()+ticks. Closure events cannot be captured by
+// a Snapshot; kernel-originated timers use the typed AfterTimeout instead.
+func (m *Machine) After(ticks uint64, fn func()) {
+	m.pushEvent(event{tick: m.clock + ticks, kind: evFn, fn: fn})
+}
+
+// AfterTimeout schedules a watchpoint suspension-timeout: at Now()+ticks
+// the kernel's TimeoutWP(wpIdx, gen) runs. Stored as data so pending
+// timeouts snapshot and restore.
+func (m *Machine) AfterTimeout(ticks uint64, wpIdx int, gen uint64) {
+	m.pushEvent(event{tick: m.clock + ticks, kind: evWPTimeout, a: uint64(wpIdx), b: gen})
 }
 
 // EpochChanged: the canonical watchpoint state changed. The executing core
@@ -195,6 +205,11 @@ func (m *Machine) loadRaw(addr uint32, sz uint8) uint64 {
 func (m *Machine) storeRaw(addr uint32, sz uint8, v uint64) {
 	if int(addr)+int(sz) > len(m.Mem) {
 		return
+	}
+	if m.memTrack {
+		// A store spans at most two pages (sz <= 8 << pageShift).
+		m.pageDirty[addr>>pageShift] = true
+		m.pageDirty[(addr+uint32(sz)-1)>>pageShift] = true
 	}
 	for i := uint8(0); i < sz; i++ {
 		m.Mem[addr+uint32(i)] = byte(v >> (8 * i))

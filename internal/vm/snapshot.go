@@ -1,0 +1,381 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"kivati/internal/compile"
+	"kivati/internal/hw"
+	"kivati/internal/kernel"
+	"kivati/internal/trace"
+)
+
+// Copy-on-write machine snapshots.
+//
+// A Snapshot captures everything a run's future depends on — registers,
+// threads, run queue, per-core watchpoint files, pending timer events,
+// kernel state, RNG cursor, decision counter, and data memory — at a
+// quiescent point: before Run starts, or inside a SchedulePolicy.Pick
+// callback (the machine is between instructions, the current segment is
+// closed, and no core is mid-step). Memory is shared copy-on-write at page
+// granularity: the store path marks dirty pages, Snapshot copies only
+// pages dirtied since the previous capture, and Restore copies back only
+// pages that differ, so a schedule whose runs touch a few dozen pages
+// costs a few dozen page copies instead of re-zeroing the whole image.
+//
+// Snapshots are immutable once taken and machine-portable: a snapshot
+// taken on one machine restores onto any machine built from the same
+// binary and configuration (the explorer gives each worker its own
+// machine and shares snapshots freely).
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	numPages  = int(compile.MemSize >> pageShift)
+)
+
+// countingSource wraps a deterministic rand source and counts draws, so a
+// snapshot can record the RNG cursor and a restore can rewind it by
+// resetting the cursor. Seeding is lazy: the stdlib generator's seeding
+// scan walks a ~600-word state vector, which dominated per-schedule reset
+// cost before runs that never consult the scheduler RNG — every fixture
+// without an arrival workload — learned to skip it. The source therefore
+// holds only (seed, draw count) until the first draw materializes the
+// stdlib state, and Seed/rewind just reset the pair.
+type countingSource struct {
+	src  rand.Source
+	s64  rand.Source64
+	seed int64
+	n    uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{seed: seed}
+}
+
+// materialize builds the stdlib source at (seed, n) on first draw.
+func (c *countingSource) materialize() {
+	src := rand.NewSource(c.seed)
+	c.src = src
+	c.s64, _ = src.(rand.Source64)
+	for i := uint64(0); i < c.n; i++ {
+		src.Int63()
+	}
+}
+
+func (c *countingSource) Int63() int64 {
+	if c.src == nil {
+		c.materialize()
+	}
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src = nil
+	c.s64 = nil
+	c.seed = seed
+	c.n = 0
+}
+
+func (c *countingSource) Uint64() uint64 {
+	if c.src == nil {
+		c.materialize()
+	}
+	if c.s64 != nil {
+		c.n++
+		return c.s64.Uint64()
+	}
+	// Source without Uint64 (not the stdlib one): mirror rand.Rand's
+	// two-draw composition so the count stays exact.
+	c.n += 2
+	return uint64(c.src.Int63())>>31 | uint64(c.src.Int63())<<32
+}
+
+// rewind resets the source to (seed, draws). For the stdlib source one
+// Uint64 and one Int63 advance the state identically, so a draw count
+// fully determines the state regardless of which methods consumed it;
+// materialize replays the draws if the stream is ever consulted again.
+func (c *countingSource) rewind(seed int64, draws uint64) {
+	c.src = nil
+	c.s64 = nil
+	c.seed = seed
+	c.n = draws
+}
+
+type coreSnap struct {
+	wp        *hw.RegisterFile
+	curTID    int // -1 = idle
+	busyUntil uint64
+	nextTimer uint64
+}
+
+// Snapshot is an immutable capture of a machine's execution state. See the
+// package comment above for the capture points and portability contract.
+type Snapshot struct {
+	clock    uint64
+	eventSeq uint64
+	schedSeq uint64
+	seed     int64
+	rngDraws uint64
+	quantum  uint64
+
+	threads []Thread
+	runq    []int
+	cores   []coreSnap
+	events  []event
+	pages   [][]byte
+
+	reqArrivals map[int]uint64
+	reqQueue    []int
+	reqWaiters  []int
+	reqMade     int
+
+	output    []int64
+	latencies []uint64
+	faults    []string
+
+	epochWaiters bool
+	coresBehind  bool
+
+	fastInstrs  uint64
+	fastWindows uint64
+	demotions   Demotions
+
+	segCount int
+
+	kern *kernel.Snapshot
+	log  trace.LogState
+}
+
+// Clock returns the virtual time the snapshot was taken at.
+func (s *Snapshot) Clock() uint64 { return s.clock }
+
+// SchedSeq returns the number of decision points consumed when the
+// snapshot was taken (the absolute index of the next decision).
+func (s *Snapshot) SchedSeq() uint64 { return s.schedSeq }
+
+// Snapshot captures the machine's state. The machine must have been built
+// with Config.Snapshots and be at a quiescent point (before Run, or inside
+// a Policy.Pick callback). It fails if a closure event (After) is pending,
+// since closures cannot be captured as data.
+func (m *Machine) Snapshot() (*Snapshot, error) {
+	if !m.cfg.Snapshots {
+		return nil, fmt.Errorf("vm: machine not built with Config.Snapshots")
+	}
+	for i := range m.events {
+		if m.events[i].kind == evFn {
+			return nil, fmt.Errorf("vm: pending closure event at tick %d is not snapshottable", m.events[i].tick)
+		}
+	}
+	s := &Snapshot{
+		clock:        m.clock,
+		eventSeq:     m.eventSeq,
+		schedSeq:     m.schedSeq,
+		seed:         m.rsrc.seed,
+		rngDraws:     m.rsrc.n,
+		quantum:      m.cfg.Costs.Quantum,
+		threads:      make([]Thread, len(m.threads)),
+		runq:         make([]int, len(m.runq)),
+		cores:        make([]coreSnap, len(m.cores)),
+		events:       append([]event(nil), m.events...),
+		pages:        make([][]byte, numPages),
+		reqArrivals:  make(map[int]uint64, len(m.reqArrivals)),
+		reqQueue:     append([]int(nil), m.reqQueue...),
+		reqWaiters:   make([]int, len(m.reqWaiters)),
+		reqMade:      m.reqMade,
+		output:       append([]int64(nil), m.Output...),
+		latencies:    append([]uint64(nil), m.Latencies...),
+		faults:       append([]string(nil), m.Faults...),
+		epochWaiters: m.epochWaiters,
+		coresBehind:  m.coresBehind,
+		fastInstrs:   m.fastInstrs,
+		fastWindows:  m.fastWindows,
+		demotions:    m.demotions,
+		// A snapshot taken inside Pick(d) has already closed segment d, but
+		// a resumed run re-executes that Pick — including its closeSegment —
+		// so the restored machine must hold only the segments of fully
+		// completed decisions (min handles the recording-limit cutoff).
+		segCount:     min(len(m.segs), int(m.schedSeq)),
+		kern:         m.K.Snapshot(),
+		log:          m.K.Log.SaveState(),
+	}
+	for i, t := range m.threads {
+		s.threads[i] = *t
+	}
+	for i, t := range m.runq {
+		s.runq[i] = t.ID
+	}
+	for i, c := range m.cores {
+		wp := hw.NewRegisterFile(len(c.WP.WPs))
+		wp.CopyFrom(c.WP)
+		cs := coreSnap{wp: wp, curTID: -1, busyUntil: c.BusyUntil, nextTimer: c.NextTimer}
+		if c.Cur != nil {
+			cs.curTID = c.Cur.ID
+		}
+		s.cores[i] = cs
+	}
+	for id, at := range m.reqArrivals {
+		s.reqArrivals[id] = at
+	}
+	for i, w := range m.reqWaiters {
+		s.reqWaiters[i] = w.ID
+	}
+	// CoW page capture: refresh the shadow copy of pages written since the
+	// last capture, then share every page by reference. Captured pages are
+	// never written again (stores replace the shadow pointer on the next
+	// Snapshot, Restore redirects it), which is what makes snapshots
+	// immutable and portable across machines. All-zero pages — most of the
+	// image at the initial capture — share one global page instead of
+	// getting private copies.
+	for p := 0; p < numPages; p++ {
+		if m.shadow[p] == nil || m.pageDirty[p] {
+			page := m.Mem[p<<pageShift : (p+1)<<pageShift]
+			if bytes.Equal(page, zeroPage) {
+				m.shadow[p] = zeroPage
+			} else {
+				cp := make([]byte, pageSize)
+				copy(cp, page)
+				m.shadow[p] = cp
+			}
+			m.pageDirty[p] = false
+		}
+		s.pages[p] = m.shadow[p]
+	}
+	return s, nil
+}
+
+// zeroPage is the shared capture of every all-zero page.
+var zeroPage = make([]byte, pageSize)
+
+// Restore rewinds the machine to a snapshot. The machine must have been
+// built from the same binary and an equivalent configuration (core count,
+// watchpoint count) as the snapshot's source machine — not necessarily the
+// same machine. After Restore the machine continues exactly as the source
+// machine would have from the capture point; Run may be re-entered.
+func (m *Machine) Restore(s *Snapshot) {
+	m.clock = s.clock
+	m.eventSeq = s.eventSeq
+	m.schedSeq = s.schedSeq
+	m.cfg.Costs.Quantum = s.quantum
+	m.rsrc.rewind(s.seed, s.rngDraws)
+
+	for i := range s.threads {
+		var t *Thread
+		if i < len(m.threads) {
+			t = m.threads[i]
+		} else {
+			t = new(Thread)
+			m.threads = append(m.threads, t)
+		}
+		*t = s.threads[i]
+	}
+	m.threads = m.threads[:len(s.threads)]
+
+	m.runq = m.runq[:0]
+	for _, tid := range s.runq {
+		m.runq = append(m.runq, m.threads[tid])
+	}
+	for i, cs := range s.cores {
+		c := m.cores[i]
+		c.WP.CopyFrom(cs.wp)
+		c.BusyUntil = cs.busyUntil
+		c.NextTimer = cs.nextTimer
+		if cs.curTID >= 0 {
+			c.Cur = m.threads[cs.curTID]
+		} else {
+			c.Cur = nil
+		}
+		c.nacc = 0
+		c.trapAborted = false
+		c.fastLeft = 0
+		c.fastChecked = false
+	}
+	m.events = append(m.events[:0], s.events...)
+
+	// Memory: copy back only pages that provably differ from the
+	// snapshot — a page is unchanged when it still shares the snapshot's
+	// copy and has not been written since.
+	for p := 0; p < numPages; p++ {
+		if m.pageDirty[p] || !samePage(m.shadow[p], s.pages[p]) {
+			copy(m.Mem[p<<pageShift:(p+1)<<pageShift], s.pages[p])
+			m.shadow[p] = s.pages[p]
+			m.pageDirty[p] = false
+		}
+	}
+
+	m.reqArrivals = make(map[int]uint64, len(s.reqArrivals))
+	for id, at := range s.reqArrivals {
+		m.reqArrivals[id] = at
+	}
+	m.reqQueue = append(m.reqQueue[:0], s.reqQueue...)
+	m.reqWaiters = m.reqWaiters[:0]
+	for _, tid := range s.reqWaiters {
+		m.reqWaiters = append(m.reqWaiters, m.threads[tid])
+	}
+	m.reqMade = s.reqMade
+
+	m.Output = append(m.Output[:0], s.output...)
+	m.Latencies = append(m.Latencies[:0], s.latencies...)
+	m.Faults = append(m.Faults[:0], s.faults...)
+	m.stopped = false
+	m.reason = ""
+	m.curCore = nil
+	m.epochWaiters = s.epochWaiters
+	m.coresBehind = s.coresBehind
+	m.fastInstrs = s.fastInstrs
+	m.fastWindows = s.fastWindows
+	m.demotions = s.demotions
+
+	// Segment recording resumes at the snapshot's absolute index. Entries
+	// below it belong to whatever run this machine executed last and are
+	// never read (a resumed run only inspects segments recorded after its
+	// branch point); pad with Global placeholders to keep indexes aligned.
+	if m.segLimit > 0 {
+		if len(m.segs) > s.segCount {
+			m.segs = m.segs[:s.segCount]
+		}
+		for len(m.segs) < s.segCount {
+			m.segs = append(m.segs, Segment{Thread: -1, Global: true})
+		}
+		m.seg = Segment{Thread: -1, Reads: m.seg.Reads[:0], Writes: m.seg.Writes[:0]}
+	}
+
+	m.K.Restore(s.kern)
+	m.K.Log.RestoreState(s.log)
+}
+
+func samePage(a, b []byte) bool {
+	return a != nil && b != nil && &a[0] == &b[0]
+}
+
+// SetPolicy replaces the schedule policy for the next run. Valid only on
+// machines whose fast-path admissibility does not depend on the policy:
+// built with DispatchStep or DispatchFast (New computes fastOK once).
+func (m *Machine) SetPolicy(p SchedulePolicy) {
+	m.cfg.Policy = p
+}
+
+// Reseed resets the scheduler RNG to a fresh stream. Valid only at the
+// run's start (clock 0), before any draw has influenced execution.
+func (m *Machine) Reseed(seed int64) {
+	if m.rsrc != nil {
+		m.rsrc.Seed(seed)
+		return
+	}
+	m.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetQuantum sets the scheduling quantum and re-arms every core's first
+// timer accordingly. Valid only at clock 0 (typically right after
+// restoring the initial snapshot), matching what New does at construction.
+func (m *Machine) SetQuantum(q uint64) {
+	if q == 0 {
+		q = 1000
+	}
+	m.cfg.Costs.Quantum = q
+	for _, c := range m.cores {
+		c.NextTimer = q
+	}
+}

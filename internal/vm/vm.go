@@ -101,6 +101,11 @@ type Config struct {
 	Debug io.Writer
 	// Dispatch selects the execution tier (see DispatchMode).
 	Dispatch DispatchMode
+	// Snapshots enables copy-on-write snapshot support: dirty-page
+	// tracking in the store path plus a draw-counting RNG source, the
+	// state Machine.Snapshot/Restore need. Off by default; the tracking
+	// costs one branch per store.
+	Snapshots bool
 }
 
 type threadState int
@@ -151,9 +156,26 @@ type Core struct {
 	fastChecked bool
 }
 
+// eventKind discriminates pending timer events. All kernel- and
+// machine-originated events are plain data (evWake/evWPTimeout/evArrival)
+// so a Snapshot can capture and a Restore can replay the pending queue on
+// any machine; evFn carries an opaque closure (used only by debug/tooling
+// hooks such as the whitelist-reload trainer) and makes a machine
+// unsnapshottable while pending.
+type eventKind uint8
+
+const (
+	evFn eventKind = iota
+	evWake      // a = thread ID: wake a Pause/Sleep-blocked thread
+	evWPTimeout // a = watchpoint index, b = generation: kernel.TimeoutWP
+	evArrival   // request-generator arrival
+)
+
 type event struct {
 	tick uint64
 	seq  uint64
+	kind eventKind
+	a, b uint64
 	fn   func()
 }
 
@@ -244,6 +266,22 @@ type Machine struct {
 	// false, the Run loop skips the per-iteration idle-core adoption scan
 	// (lazy cross-core propagation batched at window edges).
 	coresBehind bool
+
+	// Copy-on-write snapshot support (snapshot.go). memTrack gates the
+	// dirty-page bookkeeping in storeRaw; shadow[p] is the immutable copy
+	// of page p as of the last Snapshot/Restore (nil = never captured) and
+	// pageDirty[p] records writes since then. rsrc is the draw-counting
+	// RNG source that makes the rng state restorable.
+	memTrack  bool
+	shadow    [][]byte
+	pageDirty []bool
+	rsrc      *countingSource
+
+	// Per-decision access-segment recording for DPOR (segment.go). segLimit
+	// is the number of decision-delimited segments to record (0 = off).
+	segLimit int
+	segs     []Segment
+	seg      Segment // segment currently being accumulated
 }
 
 // New creates a machine running bin under kernel k. The kernel's Machine is
@@ -268,8 +306,13 @@ func New(bin *compile.Binary, k *kernel.Kernel, cfg Config) (*Machine, error) {
 		Stats:       k.Stats,
 		Mem:         make([]byte, compile.MemSize),
 		cfg:         cfg,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		reqArrivals: map[int]uint64{},
+	}
+	if cfg.Snapshots {
+		m.rsrc = newCountingSource(cfg.Seed)
+		m.rng = rand.New(m.rsrc)
+	} else {
+		m.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	for addr, v := range bin.InitMem {
 		m.storeRaw(addr, 8, uint64(v))
@@ -321,6 +364,13 @@ func New(bin *compile.Binary, k *kernel.Kernel, cfg Config) (*Machine, error) {
 	}
 	if cfg.Requests != nil && cfg.Requests.Count > 0 {
 		m.scheduleArrival()
+	}
+	if cfg.Snapshots {
+		// Dirty tracking starts after InitMem: pages never captured by a
+		// Snapshot are copied wholesale regardless of their dirty bit.
+		m.shadow = make([][]byte, numPages)
+		m.pageDirty = make([]bool, numPages)
+		m.memTrack = true
 	}
 	return m, nil
 }
@@ -414,7 +464,7 @@ func (m *Machine) Run() *Result {
 		// Fire due events.
 		for len(m.events) > 0 && m.events[0].tick <= m.clock {
 			ev := heap.Pop(&m.events).(event)
-			ev.fn()
+			m.fire(ev)
 		}
 		if m.K.Log.StopRequested() {
 			m.reason = "stopped"
@@ -456,6 +506,7 @@ func (m *Machine) Run() *Result {
 		}
 
 		stepped := false
+		deferred := false
 		for _, c := range m.cores {
 			if c.BusyUntil > m.clock {
 				continue
@@ -476,11 +527,32 @@ func (m *Machine) Run() *Result {
 			}
 			if c.Cur == nil {
 				m.schedule(c)
+				// On a single-core fast-path machine, hand a freshly
+				// scheduled thread's first instruction to the next superstep
+				// window instead of paying a legacy step here: re-entering
+				// the loop at the same clock lets trySuperstep retire the
+				// whole quantum in bulk. Timing is identical — the window
+				// starts at this clock, so round 0 commits exactly where
+				// step() would have, and with one core nothing else can run
+				// in between. (With several cores the deferred instruction
+				// could reorder against a same-tick legacy step on a later
+				// core, so multi-core keeps the schedule-then-step path.)
+				if m.fastOK && c.Cur != nil && len(m.cores) == 1 {
+					deferred = true
+					continue
+				}
 			}
 			if c.Cur != nil {
 				m.step(c)
 				stepped = true
 			}
+		}
+		if deferred {
+			// The scheduled thread guarantees progress next iteration: the
+			// superstep takes the window, or (if its first block is not
+			// fast-eligible) the core loop legacy-steps it at this same
+			// clock.
+			continue
 		}
 
 		if m.allDone() {
@@ -540,6 +612,32 @@ func (m *Machine) Run() *Result {
 	}
 }
 
+// fire dispatches one due event by kind. Wakes reproduce the lenient
+// SetWakeAt semantics exactly: a thread that was already woken (or blocked
+// for another reason) since the timer was armed is left alone.
+func (m *Machine) fire(ev event) {
+	if m.segRecording() {
+		// Timer events are kernel activity interleaved into the current
+		// inter-decision segment; their effects are not captured by the
+		// access stream, so the segment conflicts with everything.
+		m.seg.Global = true
+	}
+	switch ev.kind {
+	case evWake:
+		t := m.threads[int(ev.a)]
+		if t.State == stBlocked && (t.Block == kernel.BlockPause || t.Block == kernel.BlockSleep) {
+			t.WakeAt = 0
+			m.tryWake(t)
+		}
+	case evWPTimeout:
+		m.K.TimeoutWP(int(ev.a), ev.b)
+	case evArrival:
+		m.arrive()
+	default:
+		ev.fn()
+	}
+}
+
 func (m *Machine) allDone() bool {
 	for _, t := range m.threads {
 		if t.State != stDone {
@@ -561,6 +659,13 @@ func (m *Machine) schedule(c *Core) {
 	i := 0
 	if len(m.runq) > 1 {
 		if m.cfg.Policy != nil {
+			// Decision point: close the access segment accumulated since
+			// the previous decision before consulting the policy, so a
+			// snapshot taken inside Pick captures a consistent segment
+			// count (see segment.go).
+			if m.segRecording() {
+				m.closeSegment()
+			}
 			m.runnableBuf = m.runnableBuf[:0]
 			for _, t := range m.runq {
 				m.runnableBuf = append(m.runnableBuf, t.ID)
@@ -575,9 +680,18 @@ func (m *Machine) schedule(c *Core) {
 			if i < 0 || i >= len(m.runq) {
 				i = 0
 			}
+			if m.segRecording() {
+				m.seg.Thread = m.runq[i].ID
+			}
 		} else if m.rng.Intn(4) == 0 {
 			i = m.rng.Intn(len(m.runq))
 		}
+	} else if m.segRecording() {
+		// A forced assignment (single runnable thread) changes the running
+		// thread without consuming a decision, so the current segment spans
+		// more than one thread's execution: treat it as conflicting with
+		// everything rather than modeling multi-thread segments.
+		m.seg.Global = true
 	}
 	t := m.runq[i]
 	m.runq = append(m.runq[:i], m.runq[i+1:]...)
@@ -613,6 +727,9 @@ func (m *Machine) fault(t *Thread, format string, args ...interface{}) {
 }
 
 func (m *Machine) exitThread(t *Thread) {
+	if m.segRecording() {
+		m.seg.Global = true
+	}
 	t.State = stDone
 	if t.OnCore >= 0 {
 		m.cores[t.OnCore].Cur = nil
@@ -626,7 +743,7 @@ func (m *Machine) scheduleArrival() {
 	if gap == 0 {
 		gap = 1
 	}
-	m.After(gap, m.arrive)
+	m.pushEvent(event{tick: m.clock + gap, kind: evArrival})
 }
 
 func (m *Machine) arrive() {
