@@ -12,6 +12,7 @@
 //	kivati-explore -all -engine replay          # legacy engine (fresh VM per schedule)
 //	kivati-explore -bug NSS/341323 -trace-dir traces   # record divergent schedules
 //	kivati-explore -replay traces/NSS-341323-vanilla-17.json
+//	kivati-explore -gen 20 -gen-seed 1          # a generated 20-program corpus
 //	kivati-explore -all -json                   # machine-readable report
 //	kivati-explore -bench-out BENCH_explore.json          # engine throughput sweep
 //	kivati-explore -bench-baseline BENCH_explore.json -bench-gate
@@ -31,19 +32,25 @@ import (
 	"time"
 
 	"kivati/internal/bugs"
+	"kivati/internal/corpusgen"
 	"kivati/internal/explore"
 	"kivati/internal/harness"
 )
 
 // report is the -json output.
 type report struct {
-	Schema       string                `json:"schema"`
-	Strategy     explore.Strategy      `json:"strategy"`
-	Engine       explore.Engine        `json:"engine"`
-	DPOR         bool                  `json:"dpor,omitempty"`
-	Schedules    int                   `json:"schedules"`
-	Seed         int64                 `json:"seed"`
-	Bound        int                   `json:"bound,omitempty"`
+	Schema    string           `json:"schema"`
+	Strategy  explore.Strategy `json:"strategy"`
+	Engine    explore.Engine   `json:"engine"`
+	DPOR      bool             `json:"dpor,omitempty"`
+	Schedules int              `json:"schedules"`
+	Seed      int64            `json:"seed"`
+	Bound     int              `json:"bound,omitempty"`
+	// GenSeed and Corpus identify a generated corpus (-gen): with the
+	// generator's determinism guarantee they make every subject — and so
+	// every recorded trace — replayable from this report alone.
+	GenSeed      *int64                `json:"gen_seed,omitempty"`
+	Corpus       int                   `json:"corpus_size,omitempty"`
 	Subjects     []*explore.DiffReport `json:"subjects"`
 	TotalSeconds float64               `json:"total_seconds"`
 	// SchedulesPerSec is executed schedules (subjects x 2 modes x budget)
@@ -59,6 +66,9 @@ type report struct {
 func main() {
 	bug := flag.String("bug", "", "explore one bug (App/ID, e.g. NSS/341323)")
 	all := flag.Bool("all", false, "explore the whole 11-bug corpus")
+	gen := flag.Int("gen", 0, "explore a generated corpus of this many programs instead of the hand-written bugs")
+	genSeed := flag.Int64("gen-seed", 1, "generated corpus base seed")
+	genArrays := flag.Bool("gen-arrays", false, "generated corpus: add indirect-access ring decoys")
 	strategy := flag.String("strategy", "random", "schedule strategy: random or dfs")
 	n := flag.Int("n", 500, "schedule budget per mode")
 	bound := flag.Int("bound", 3, "dfs: max preemption-point deviations")
@@ -99,13 +109,19 @@ func main() {
 		runBench(opts, *benchOut, *benchBaseline, *benchGate, *jsonOut)
 		return
 	}
-	if *bug == "" && !*all {
+	if *bug == "" && !*all && *gen == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	var subjects []*explore.Subject
-	if *all {
+	if *gen > 0 {
+		progs, err := corpusgen.Generate(corpusgen.Options{Count: *gen, Seed: *genSeed, Arrays: *genArrays})
+		check(err)
+		for _, p := range progs {
+			subjects = append(subjects, explore.GenSubject(p, len(progs)))
+		}
+	} else if *all {
 		for _, b := range bugs.Corpus() {
 			s, err := explore.BugSubject(b)
 			check(err)
@@ -133,6 +149,10 @@ func main() {
 	}
 	if opts.Strategy == explore.DFS {
 		rep.Bound = *bound
+	}
+	if *gen > 0 {
+		rep.GenSeed = genSeed
+		rep.Corpus = *gen
 	}
 
 	engineBugs := 0

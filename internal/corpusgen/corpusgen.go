@@ -1,0 +1,205 @@
+// Package corpusgen is the seeded procedural bug-corpus generator: it
+// emits bounded multi-threaded MiniC programs with injected atomicity-
+// violation shapes drawn from the Figure 2 interleaving matrix, each
+// labeled with its category, witness variables and expected differential-
+// oracle verdict. The hand-written 11-bug corpus pins the oracle's
+// semantics on known shapes; this package scales the same construction to
+// hundreds of programs so the oracle becomes a statistical gate (see
+// internal/harness RunSoak).
+//
+// Every program follows the structural soundness rules of the exploration
+// fixtures (internal/bugs/explore.go):
+//
+//   - Witness variables are 0 in every serial (non-preemptive) execution
+//     and are incremented only when a thread's own reads observe one of
+//     the Figure 2 non-serializable interleavings, strictly before the
+//     region's final write — so they stay meaningful under the engine's
+//     delayed-write escape hatch.
+//   - Witness regions are read-first wherever the shape allows, and every
+//     remote reset/poke/peek lives in a single-access helper function that
+//     owns no atomic region (the annotator pairs per function), so no
+//     begin_atomic is ever suspended into the begin-retry giveup that
+//     would leak an unmonitored window.
+//   - The W-R-W and W-W-R shapes are asymmetric — only one thread owns a
+//     region on the bug variable — which keeps the write-first begins of
+//     those regions unsuspendable for the same reason.
+//
+// Benign decoys are correctly locked look-alikes of the bug shapes plus
+// lock-protected counters with commutative updates: every serial order and
+// every explored schedule agrees on their observables, so any divergence
+// flagged on them is a false positive of the oracle, not a bug.
+//
+// Generation is deterministic and parallelism-independent: program k is
+// derived from (Options.Seed, k) alone via a splitmix64 stream, so 1-way
+// and 8-way generation produce byte-identical sources and labels.
+package corpusgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kivati/internal/pool"
+)
+
+// Category is one interleaving shape from the Figure 2 matrix, or a benign
+// decoy.
+type Category string
+
+const (
+	// CatRWR: two reads bracketing a compute disagree iff a remote write
+	// landed in the window (lost update).
+	CatRWR Category = "R-W-R"
+	// CatWWR: a just-written value changes before the owner's next read
+	// (interleaved update).
+	CatWWR Category = "W-W-R"
+	// CatRWW: check-then-act — a remote init lands between the check and
+	// the assignment, observed by a re-check read.
+	CatRWW Category = "R-W-W"
+	// CatWRW: torn publish — a reader observes the transient value between
+	// the writer's invalidate and republish (dirty read).
+	CatWRW Category = "W-R-W"
+	// CatBenign: correctly locked decoy; flagging it is a false positive.
+	CatBenign Category = "benign"
+)
+
+// Categories lists every category in report order.
+func Categories() []Category {
+	return []Category{CatRWR, CatWWR, CatRWW, CatWRW, CatBenign}
+}
+
+// bugCategories is the round-robin order bug programs cycle through.
+var bugCategories = []Category{CatRWR, CatWWR, CatRWW, CatWRW}
+
+// Verdict is a program's expected differential-oracle outcome.
+type Verdict string
+
+const (
+	// ExpectBug: vanilla exploration must find at least one divergent
+	// schedule; prevention must find none.
+	ExpectBug Verdict = "bug"
+	// ExpectBenign: neither mode may diverge from the serial reference.
+	ExpectBenign Verdict = "benign"
+)
+
+// Program is one generated, labeled corpus entry.
+type Program struct {
+	// Name is gen/<index>-<shape>, unique within a corpus.
+	Name  string `json:"name"`
+	Index int    `json:"index"`
+	// Seed is the corpus base seed; the program regenerates from
+	// (Seed, Index) alone.
+	Seed     int64    `json:"seed"`
+	Category Category `json:"category"`
+	Expect   Verdict  `json:"expect"`
+	// WitnessVars are the schedule-divergence witnesses (empty for benign
+	// programs, whose observables are the protected counters themselves).
+	WitnessVars []string `json:"witness_vars,omitempty"`
+	// SnapshotVars are the differential-oracle observables: witnesses plus
+	// every lock-protected decoy counter.
+	SnapshotVars []string `json:"snapshot_vars"`
+	Source       string   `json:"source"`
+}
+
+// Options configure corpus generation.
+type Options struct {
+	Count int   // corpus size (default 50)
+	Seed  int64 // base seed; program k derives from (Seed, k)
+	// BenignEvery makes every k-th program a benign decoy (default 5;
+	// negative disables benign programs entirely).
+	BenignEvery int
+	// Arrays adds a lock-protected ring-buffer decoy updated through
+	// dynamic indices: the indirect accesses give the enclosing blocks an
+	// Unbounded static footprint, exercising the fast path's footprint
+	// escape (vm.Demotions.Unbounded).
+	Arrays bool
+	// Iters is the per-thread iteration budget before per-program jitter
+	// (default 12; the generator draws from [Iters-2, Iters+2]).
+	Iters int
+	// Parallelism bounds the generation worker pool (0 = GOMAXPROCS).
+	// Output is identical at every setting.
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Count == 0 {
+		o.Count = 50
+	}
+	if o.BenignEvery == 0 {
+		o.BenignEvery = 5
+	}
+	if o.BenignEvery < 0 {
+		o.BenignEvery = 0
+	}
+	if o.Iters == 0 {
+		o.Iters = 12
+	}
+	return o
+}
+
+// CategoryFor is the (pure) category assignment: with BenignEvery = k > 0
+// every k-th program is benign, and the bug programs in between cycle
+// through the four Figure 2 shapes round-robin, so every category is
+// populated in any corpus of at least 5 programs.
+func CategoryFor(index, benignEvery int) Category {
+	if benignEvery > 0 && (index+1)%benignEvery == 0 {
+		return CatBenign
+	}
+	seq := index
+	if benignEvery > 0 {
+		seq = index - (index+1)/benignEvery
+	}
+	return bugCategories[seq%len(bugCategories)]
+}
+
+// Generate emits the corpus. Results are slotted by index, so output is
+// byte-identical at any Parallelism.
+func Generate(opts Options) ([]*Program, error) {
+	opts = opts.withDefaults()
+	jobs := make([]func() (*Program, error), opts.Count)
+	for k := 0; k < opts.Count; k++ {
+		k := k
+		jobs[k] = func() (*Program, error) { return One(opts, k), nil }
+	}
+	return pool.Run(pool.Workers(opts.Parallelism), jobs)
+}
+
+// One generates program index of the corpus described by opts, from
+// (opts.Seed, index) alone.
+func One(opts Options, index int) *Program {
+	opts = opts.withDefaults()
+	cat := CategoryFor(index, opts.BenignEvery)
+	b := newBuilder(rand.New(rand.NewSource(mix(opts.Seed, index))), opts)
+	b.emit(cat)
+	p := &Program{
+		Name:         fmt.Sprintf("gen/%d-%s", index, shapeSlug(cat)),
+		Index:        index,
+		Seed:         opts.Seed,
+		Category:     cat,
+		Expect:       ExpectBug,
+		WitnessVars:  b.witness,
+		SnapshotVars: append(append([]string(nil), b.witness...), b.observed...),
+		Source:       b.source(),
+	}
+	if cat == CatBenign {
+		p.Expect = ExpectBenign
+	}
+	return p
+}
+
+// shapeSlug compresses a category into a name-safe suffix.
+func shapeSlug(c Category) string {
+	return strings.ToLower(strings.ReplaceAll(string(c), "-", ""))
+}
+
+// mix derives program index's generator seed from the corpus seed with a
+// splitmix64 step, so neighboring indices get decorrelated streams.
+func mix(seed int64, index int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4b9b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,140 @@
+package corpusgen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"kivati/internal/annotate"
+	"kivati/internal/core"
+	"kivati/internal/corpusgen"
+	"kivati/internal/kernel"
+	"kivati/internal/vm"
+)
+
+// TestCategoryCoverage: the round-robin assignment populates every
+// category in any 5-program window and puts benign decoys exactly at every
+// BenignEvery-th slot.
+func TestCategoryCoverage(t *testing.T) {
+	progs, err := corpusgen.Generate(corpusgen.Options{Count: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[corpusgen.Category]int{}
+	for _, p := range progs {
+		counts[p.Category]++
+		if got := corpusgen.CategoryFor(p.Index, 5); got != p.Category {
+			t.Errorf("program %d: category %q, CategoryFor says %q", p.Index, p.Category, got)
+		}
+		wantBenign := (p.Index+1)%5 == 0
+		if (p.Category == corpusgen.CatBenign) != wantBenign {
+			t.Errorf("program %d: category %q, benign slot = %v", p.Index, p.Category, wantBenign)
+		}
+		if (p.Expect == corpusgen.ExpectBenign) != (p.Category == corpusgen.CatBenign) {
+			t.Errorf("program %d: category %q but expect %q", p.Index, p.Category, p.Expect)
+		}
+	}
+	for _, c := range corpusgen.Categories() {
+		if counts[c] == 0 {
+			t.Errorf("category %q missing from a 20-program corpus", c)
+		}
+	}
+	if counts[corpusgen.CatBenign] != 4 {
+		t.Errorf("benign programs = %d, want 4", counts[corpusgen.CatBenign])
+	}
+}
+
+// TestDeterministicAcrossParallelism: same seed => byte-identical sources
+// and identical labels at 1-way and 8-way generation.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	opts := corpusgen.Options{Count: 32, Seed: 11, Arrays: true}
+	opts.Parallelism = 1
+	serial, err := corpusgen.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	parallel, err := corpusgen.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Source != b.Source {
+			t.Errorf("program %d: sources differ between 1-way and 8-way generation", i)
+		}
+		if a.Name != b.Name || a.Category != b.Category || a.Expect != b.Expect ||
+			fmt.Sprint(a.WitnessVars) != fmt.Sprint(b.WitnessVars) ||
+			fmt.Sprint(a.SnapshotVars) != fmt.Sprint(b.SnapshotVars) {
+			t.Errorf("program %d: labels differ between 1-way and 8-way generation", i)
+		}
+	}
+}
+
+// TestSeedsVaryPrograms: different corpus seeds give different programs.
+func TestSeedsVaryPrograms(t *testing.T) {
+	a := corpusgen.One(corpusgen.Options{Seed: 1}, 0)
+	b := corpusgen.One(corpusgen.Options{Seed: 2}, 0)
+	if a.Source == b.Source {
+		t.Error("seeds 1 and 2 generated identical program 0")
+	}
+}
+
+// serialRun executes one generated program under the non-preemptive serial
+// scheduler in one mode and returns the snapshot observables.
+func serialRun(t *testing.T, p *corpusgen.Program, vanilla bool) map[string]int64 {
+	t.Helper()
+	prog, err := core.BuildWithOptions(p.Source, annotate.Options{})
+	if err != nil {
+		t.Fatalf("%s: build: %v", p.Name, err)
+	}
+	costs := vm.DefaultCosts()
+	costs.Quantum = 1 << 40 // no timer preemption: the serial reference
+	res, err := core.Run(prog, core.RunConfig{
+		Mode:           kernel.Prevention,
+		Opt:            kernel.OptBase,
+		Vanilla:        vanilla,
+		NumWatchpoints: 16,
+		Cores:          1,
+		Seed:           1,
+		MaxTicks:       4_000_000,
+		TimeoutTicks:   10_000,
+		Costs:          costs,
+		Policy:         vm.PolicyFunc(func(vm.SchedPoint) int { return 0 }),
+		SnapshotVars:   p.SnapshotVars,
+		Dispatch:       vm.DispatchStep,
+	})
+	if err != nil {
+		t.Fatalf("%s (vanilla=%v): %v", p.Name, vanilla, err)
+	}
+	if res.Reason != "completed" {
+		t.Fatalf("%s (vanilla=%v): run did not complete: %s (ticks=%d)", p.Name, vanilla, res.Reason, res.Ticks)
+	}
+	return res.Snapshot
+}
+
+// TestProgramsBuildAndRunSerial: every generated program compiles and
+// terminates under the serial scheduler in both modes, with every witness
+// at 0 — the ground-truth labeling contract.
+func TestProgramsBuildAndRunSerial(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 10
+	}
+	progs, err := corpusgen.Generate(corpusgen.Options{Count: n, Seed: 7, Arrays: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		van := serialRun(t, p, true)
+		prev := serialRun(t, p, false)
+		for _, w := range p.WitnessVars {
+			if van[w] != 0 || prev[w] != 0 {
+				t.Errorf("%s: witness %s nonzero in serial run (vanilla=%d prevention=%d)",
+					p.Name, w, van[w], prev[w])
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package corpusgen_test
+
+import (
+	"testing"
+
+	"kivati/internal/corpusgen"
+)
+
+// FuzzCorpusGen is the generator's soundness fuzzer: for ANY (seed, index,
+// arrays) input, the generated program must parse, typecheck, compile, and
+// terminate under the serial scheduler within MaxTicks in both modes, with
+// every witness variable at 0 — the ground-truth labeling contract the
+// soak harness scores against. serialRun fails the run on build errors,
+// non-"completed" exit reasons, and tick exhaustion alike.
+func FuzzCorpusGen(f *testing.F) {
+	f.Add(int64(1), 0, false)
+	f.Add(int64(1), 4, true)
+	f.Add(int64(-7), 2, true)
+	f.Add(int64(1<<40), 13, false)
+	f.Add(int64(0), 3, true)
+	f.Fuzz(func(t *testing.T, seed int64, index int, arrays bool) {
+		if index < 0 {
+			index = -(index + 1)
+		}
+		index %= 1024
+		opts := corpusgen.Options{Count: index + 1, Seed: seed, Arrays: arrays}
+		p := corpusgen.One(opts, index)
+		if p.Source == "" {
+			t.Fatalf("empty source for seed=%d index=%d", seed, index)
+		}
+		van := serialRun(t, p, true)
+		prev := serialRun(t, p, false)
+		for _, w := range p.WitnessVars {
+			if van[w] != 0 || prev[w] != 0 {
+				t.Errorf("%s: witness %s nonzero in serial run (vanilla=%d prevention=%d)",
+					p.Name, w, van[w], prev[w])
+			}
+		}
+		for _, v := range p.SnapshotVars {
+			if _, ok := van[v]; !ok {
+				t.Errorf("%s: snapshot var %s missing from the serial snapshot", p.Name, v)
+			}
+		}
+	})
+}

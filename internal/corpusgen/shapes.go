@@ -1,0 +1,407 @@
+package corpusgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// The shape emitters. Each category's MiniC idiom is a randomized instance
+// of the corresponding hand-written exploration fixture (see the package
+// comment and internal/bugs/explore.go for the soundness argument); the
+// randomized dimensions are worker count, iteration count, variable names,
+// pad widths, increments, reset strides, decoy layout and compute churn.
+
+// Name pools. Pools are disjoint from each other and from the driver's
+// reserved names (gen_done, gen_lk, gen_dlk, gen_ring, step, work, main,
+// mash and the poke_/zap_/flip_/peek_ helper prefixes), so a program never
+// collides with itself.
+var (
+	bugVarPool  = []string{"refcnt", "head", "seqno", "cursor", "slotid", "epoch", "genno", "offset", "depth", "handle"}
+	witnessPool = []string{"skew", "tear", "clash", "stale", "drift", "mixup"}
+	decoyPool   = []string{"hits", "acks", "reqs", "evts", "moved", "polls", "turns", "marks"}
+)
+
+// builder accumulates one program's parts while consuming the per-program
+// random stream in a fixed order.
+type builder struct {
+	rng     *rand.Rand
+	opts    Options
+	workers int
+	iters   int
+
+	globals  []string // global declaration lines
+	helpers  []string // helper function blocks
+	locals   []string // step local names, in declaration order
+	body     []string // step statements, fully indented lines
+	init     []string // main() initialization lines
+	witness  []string
+	observed []string
+
+	used map[string]bool
+}
+
+func newBuilder(rng *rand.Rand, opts Options) *builder {
+	b := &builder{rng: rng, opts: opts, workers: 2, used: map[string]bool{}}
+	if rng.Intn(3) == 0 {
+		b.workers = 3
+	}
+	b.iters = opts.Iters - 2 + rng.Intn(5)
+	if b.iters < 2 {
+		b.iters = 2
+	}
+	return b
+}
+
+// pickName draws an unused name from a pool.
+func (b *builder) pickName(pool []string) string {
+	i := b.rng.Intn(len(pool))
+	for b.used[pool[i]] {
+		i = (i + 1) % len(pool)
+	}
+	b.used[pool[i]] = true
+	return pool[i]
+}
+
+func (b *builder) declGlobal(name string) {
+	b.globals = append(b.globals, fmt.Sprintf("int %s;", name))
+}
+
+func (b *builder) local(name string) {
+	for _, l := range b.locals {
+		if l == name {
+			return
+		}
+	}
+	b.locals = append(b.locals, name)
+}
+
+// pattern appends a statement block to step, wrapped in `if (cond)` when
+// cond is nonempty. Lines come in at zero indent.
+func (b *builder) pattern(cond string, lines ...string) {
+	indent := "    "
+	if cond != "" {
+		b.body = append(b.body, fmt.Sprintf("    if (%s) {", cond))
+		indent = "        "
+	}
+	for _, l := range lines {
+		b.body = append(b.body, indent+l)
+	}
+	if cond != "" {
+		b.body = append(b.body, "    }")
+	}
+}
+
+// pad emits the witness window: a bare counter loop. The loop body advances
+// only its counter — a loop-carried write to a scratch local would create a
+// loop-resident local AR inside the window (see the Apache/21287 fixture
+// note).
+func pad(j string, rounds int) []string {
+	return []string{
+		fmt.Sprintf("%s = 0;", j),
+		fmt.Sprintf("while (%s < %d) {", j, rounds),
+		fmt.Sprintf("    %s = %s + 1;", j, j),
+		"}",
+	}
+}
+
+// symGuard guards symmetric patterns so a third worker (if any) does only
+// decoy work.
+func (b *builder) symGuard() string {
+	if b.workers > 2 {
+		return "id < 3"
+	}
+	return ""
+}
+
+// emit generates the whole program body for one category.
+func (b *builder) emit(cat Category) {
+	v := b.pickName(bugVarPool)
+	w := b.pickName(witnessPool)
+	switch cat {
+	case CatRWR:
+		b.emitRWR(v, w)
+	case CatWWR:
+		b.emitWWR(v, w)
+	case CatRWW:
+		b.emitRWW(v, w)
+	case CatWRW:
+		b.emitWRW(v, w)
+	case CatBenign:
+		b.emitBenign(v, w)
+	default:
+		panic(fmt.Sprintf("corpusgen: unknown category %q", cat))
+	}
+	b.emitDecoys()
+	b.emitChurn()
+}
+
+// emitRWR is the lost update: two reads bracketing the pad disagree iff a
+// remote write landed in the window. Symmetric; the region is read-first
+// (R..R on v), so begins are never suspended.
+func (b *builder) emitRWR(v, w string) {
+	rounds := 3 + b.rng.Intn(5)
+	inc := 1 + b.rng.Intn(3)
+	b.declGlobal(v)
+	b.declGlobal(w)
+	b.witness = append(b.witness, w)
+	b.local("c")
+	b.local("c2")
+	b.local("j")
+	if start := b.rng.Intn(40); start > 0 {
+		b.init = append(b.init, fmt.Sprintf("    %s = %d;\n", v, start))
+	}
+	lines := []string{fmt.Sprintf("c = %s;", v)}
+	lines = append(lines, pad("j", rounds)...)
+	lines = append(lines,
+		fmt.Sprintf("c2 = %s;", v),
+		"if (c2 != c) {",
+		fmt.Sprintf("    %s = %s + 1;", w, w),
+		"}",
+		fmt.Sprintf("%s = c + %d;", v, inc),
+	)
+	b.pattern(b.symGuard(), lines...)
+}
+
+// emitWWR is the interleaved update, observed from the writing side: the
+// owner writes then re-reads (a W..R region, which watches writes); a
+// remote single-access poke landing in the window changes the value under
+// the owner's feet. Asymmetric — the poker owns no region on v, so the
+// owner's write-first begin is never suspended.
+func (b *builder) emitWWR(v, w string) {
+	rounds := 3 + b.rng.Intn(5)
+	base := 1 + b.rng.Intn(5)
+	b.declGlobal(v)
+	b.declGlobal(w)
+	b.witness = append(b.witness, w)
+	b.local("r")
+	b.local("j")
+	b.helpers = append(b.helpers, fmt.Sprintf(`void poke_%s(int x) {
+    %s = x;
+}
+`, v, v))
+	lines := []string{fmt.Sprintf("%s = i + %d;", v, base)}
+	lines = append(lines, pad("j", rounds)...)
+	lines = append(lines,
+		fmt.Sprintf("r = %s;", v),
+		fmt.Sprintf("if (r != i + %d) {", base),
+		fmt.Sprintf("    %s = %s + 1;", w, w),
+		"}",
+	)
+	b.pattern("id == 1", lines...)
+	// The poke writes values the owner never writes (negative), so a poke
+	// landing in the window always trips the re-read.
+	b.pattern("id == 2", fmt.Sprintf("poke_%s(0 - i - 1);", v))
+}
+
+// emitRWW is the Figure 1 check-then-act: the NULL check and the
+// assignment bracket the pad; the re-check read sees a remote init land in
+// between. The reset lives in zap_* so it never pairs with the assignment
+// into a read-watching (W,W) region.
+func (b *builder) emitRWW(v, w string) {
+	rounds := 3 + b.rng.Intn(5)
+	stride := 2 + b.rng.Intn(3)
+	b.declGlobal(v)
+	b.declGlobal(w)
+	b.witness = append(b.witness, w)
+	b.local("p")
+	b.local("j")
+	b.helpers = append(b.helpers, fmt.Sprintf(`void zap_%s(int x) {
+    %s = 0;
+}
+`, v, v))
+	b.pattern("id == 1",
+		fmt.Sprintf("if (i %% %d == 0) {", stride),
+		fmt.Sprintf("    zap_%s(0);", v),
+		"}",
+	)
+	// The published value id*100+i+1 is always nonzero.
+	lines := []string{
+		fmt.Sprintf("if (%s == 0) {", v),
+		"    p = id * 100 + i + 1;",
+	}
+	for _, l := range pad("j", rounds) {
+		lines = append(lines, "    "+l)
+	}
+	lines = append(lines,
+		fmt.Sprintf("    if (%s != 0) {", v),
+		fmt.Sprintf("        %s = %s + 1;", w, w),
+		"    }",
+		fmt.Sprintf("    %s = p;", v),
+		"}",
+	)
+	b.pattern(b.symGuard(), lines...)
+}
+
+// emitWRW is the torn publish: the writer invalidates then republishes
+// (W..W, watching reads); a reader observing the transient 0 saw the dirty
+// read. The reader's single read lives in peek_* so the reader owns no
+// region and the writer's begin is never suspended (the Apache/25520
+// inversion).
+func (b *builder) emitWRW(v, w string) {
+	rounds := 3 + b.rng.Intn(5)
+	base := 1 + b.rng.Intn(5)
+	start := 1 + b.rng.Intn(9)
+	b.declGlobal(v)
+	b.declGlobal(w)
+	b.witness = append(b.witness, w)
+	b.local("p")
+	b.helpers = append(b.helpers, fmt.Sprintf(`int peek_%s(int x) {
+    return %s;
+}
+`, v, v))
+	var fl strings.Builder
+	fmt.Fprintf(&fl, "void flip_%s(int i) {\n    int j;\n", v)
+	fmt.Fprintf(&fl, "    %s = 0;\n", v)
+	for _, l := range pad("j", rounds) {
+		fmt.Fprintf(&fl, "    %s\n", l)
+	}
+	// The republished value i+base is always nonzero.
+	fmt.Fprintf(&fl, "    %s = i + %d;\n}\n", v, base)
+	b.helpers = append(b.helpers, fl.String())
+	b.init = append(b.init, fmt.Sprintf("    %s = %d;\n", v, start))
+	b.pattern("id == 1", fmt.Sprintf("flip_%s(i);", v))
+	b.pattern("id == 2",
+		fmt.Sprintf("p = peek_%s(0);", v),
+		"if (p == 0) {",
+		fmt.Sprintf("    %s = %s + 1;", w, w),
+		"}",
+	)
+}
+
+// emitBenign is the correctly locked decoy: the R-W-R witness idiom run
+// under a lock, so the witness stays 0 and the counter's final value is the
+// same under every schedule. Both are observables — flagging either is a
+// false positive.
+func (b *builder) emitBenign(v, w string) {
+	rounds := 3 + b.rng.Intn(5)
+	inc := 1 + b.rng.Intn(3)
+	b.declGlobal(v)
+	b.declGlobal(w)
+	b.globals = append(b.globals, "int gen_vlk;")
+	b.observed = append(b.observed, v, w)
+	b.local("c")
+	b.local("c2")
+	b.local("j")
+	lines := []string{"lock(gen_vlk);", fmt.Sprintf("c = %s;", v)}
+	lines = append(lines, pad("j", rounds)...)
+	lines = append(lines,
+		fmt.Sprintf("c2 = %s;", v),
+		"if (c2 != c) {",
+		fmt.Sprintf("    %s = %s + 1;", w, w),
+		"}",
+		fmt.Sprintf("%s = c + %d;", v, inc),
+		"unlock(gen_vlk);",
+	)
+	b.pattern("", lines...)
+}
+
+// emitDecoys adds 1-3 lock-protected counters with commutative updates
+// (each increment depends only on id, i and constants, so every thread
+// order sums to the same totals) and, with Options.Arrays, a lock-protected
+// ring buffer updated through dynamic indices — the indirect accesses give
+// those blocks an Unbounded static footprint.
+func (b *builder) emitDecoys() {
+	n := 1 + b.rng.Intn(3)
+	b.globals = append(b.globals, "int gen_dlk;")
+	for k := 0; k < n; k++ {
+		d := b.pickName(decoyPool)
+		b.declGlobal(d)
+		b.observed = append(b.observed, d)
+		stride := 1 + b.rng.Intn(3)
+		amt := b.rng.Intn(5)
+		lines := []string{
+			"lock(gen_dlk);",
+			fmt.Sprintf("%s = %s + id + %d;", d, d, amt),
+			"unlock(gen_dlk);",
+		}
+		cond := ""
+		if stride > 1 {
+			cond = fmt.Sprintf("i %% %d == %d", stride, b.rng.Intn(stride))
+		}
+		b.pattern(cond, lines...)
+	}
+	if b.opts.Arrays {
+		b.globals = append(b.globals, "int gen_ring[8];")
+		mult := 3 + b.rng.Intn(5)
+		idx := fmt.Sprintf("(id * %d + i) %% 8", mult)
+		b.pattern("",
+			"lock(gen_dlk);",
+			fmt.Sprintf("gen_ring[%s] = gen_ring[%s] + 1;", idx, idx),
+			"unlock(gen_dlk);",
+		)
+	}
+}
+
+// emitChurn sometimes adds an AR-free compute helper call: its locals
+// depend only on integer parameters, so the annotator finds nothing to
+// bracket — padding the program with realistic annotation-free work.
+func (b *builder) emitChurn() {
+	if b.rng.Intn(2) == 0 {
+		return
+	}
+	rounds := 3 + b.rng.Intn(6)
+	b.helpers = append(b.helpers, fmt.Sprintf(`int mash(int v) {
+    int x;
+    int j;
+    x = v + 10007;
+    j = 0;
+    while (j < %d) {
+        x = x * 31 + j;
+        x = x ^ (x >> 7);
+        j = j + 1;
+    }
+    return x;
+}
+`, rounds))
+	b.local("t")
+	b.pattern("", "t = mash(id * 64 + i);")
+}
+
+// source assembles the final MiniC program around the bounded multi-worker
+// driver (the exploreDriver shape from internal/bugs).
+func (b *builder) source() string {
+	var s strings.Builder
+	for _, g := range b.globals {
+		s.WriteString(g)
+		s.WriteByte('\n')
+	}
+	s.WriteString("int gen_done;\nint gen_lk;\n")
+	for _, h := range b.helpers {
+		s.WriteString(h)
+	}
+	s.WriteString("void step(int id, int i) {\n")
+	for _, l := range b.locals {
+		fmt.Fprintf(&s, "    int %s;\n", l)
+	}
+	for _, l := range b.body {
+		s.WriteString(l)
+		s.WriteByte('\n')
+	}
+	s.WriteString("}\n")
+	fmt.Fprintf(&s, `void work(int id) {
+    int i;
+    i = 0;
+    while (i < %d) {
+        step(id, i);
+        i = i + 1;
+    }
+    lock(gen_lk);
+    gen_done = gen_done + 1;
+    unlock(gen_lk);
+}
+void main() {
+`, b.iters)
+	for _, l := range b.init {
+		s.WriteString(l)
+	}
+	for id := 1; id <= b.workers; id++ {
+		fmt.Fprintf(&s, "    spawn(work, %d);\n", id)
+	}
+	fmt.Fprintf(&s, `    while (gen_done < %d) {
+        yield();
+    }
+}
+`, b.workers)
+	return s.String()
+}

@@ -58,6 +58,9 @@ type Subject struct {
 	Name         string
 	Source       string
 	SnapshotVars []string
+	// Gen carries a generated subject's provenance (nil for the
+	// hand-written corpus); see GenSubject.
+	Gen *GenInfo
 }
 
 // BugSubject wraps a corpus bug's exploration fixture.
@@ -74,8 +77,8 @@ func BugSubject(b *bugs.Bug) (*Subject, error) {
 
 // Options configure an exploration campaign.
 type Options struct {
-	Strategy  Strategy
-	Engine    Engine // execution engine (default EngineSnapshot; see engine.go)
+	Strategy Strategy
+	Engine   Engine // execution engine (default EngineSnapshot; see engine.go)
 	// DPOR enables dynamic partial-order reduction over the DFS: children
 	// that merely commute provably independent transitions are pruned.
 	// Requires the dfs strategy, the snapshot engine, and Cores == 1.

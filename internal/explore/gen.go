@@ -1,0 +1,32 @@
+package explore
+
+import "kivati/internal/corpusgen"
+
+// GenInfo identifies a generated subject's provenance: the corpus base
+// seed, the program's index within it, and the corpus size. Together with
+// the generator's determinism guarantee (program = f(seed, index)), these
+// three numbers make any soak failure replayable from a report or trace
+// alone — regenerate the program and re-run the recorded schedule.
+type GenInfo struct {
+	Seed   int64 `json:"seed"`
+	Index  int   `json:"index"`
+	Corpus int   `json:"corpus,omitempty"`
+	// Category is the injected shape's ground-truth label.
+	Category string `json:"category,omitempty"`
+}
+
+// GenSubject wraps a generated corpus program as an exploration subject,
+// carrying its provenance into reports and traces.
+func GenSubject(p *corpusgen.Program, corpus int) *Subject {
+	return &Subject{
+		Name:         p.Name,
+		Source:       p.Source,
+		SnapshotVars: p.SnapshotVars,
+		Gen: &GenInfo{
+			Seed:     p.Seed,
+			Index:    p.Index,
+			Corpus:   corpus,
+			Category: string(p.Category),
+		},
+	}
+}

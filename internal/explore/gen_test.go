@@ -1,0 +1,109 @@
+package explore_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kivati/internal/corpusgen"
+	"kivati/internal/explore"
+)
+
+// TestGeneratedSubjectsDifferential drives one generated program per
+// category through the differential oracle: injected bugs must diverge
+// under vanilla and never under prevention, benign decoys must not be
+// flagged at all. The statistical version over hundreds of programs lives
+// in the harness soak test; this pins the wiring per shape.
+func TestGeneratedSubjectsDifferential(t *testing.T) {
+	schedules := 40
+	if testing.Short() {
+		schedules = 16
+	}
+	genOpts := corpusgen.Options{Count: 5, Seed: 2}
+	progs, err := corpusgen.Generate(genOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[corpusgen.Category]bool{}
+	for _, p := range progs {
+		seen[p.Category] = true
+		d, err := explore.Differential(explore.GenSubject(p, len(progs)), explore.Options{
+			Schedules: schedules,
+			Seed:      3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if d.PreventionDivergences() != 0 {
+			t.Errorf("%s [%s]: %d prevention-mode schedules diverged (engine bug)",
+				p.Name, p.Category, d.PreventionDivergences())
+		}
+		switch p.Expect {
+		case corpusgen.ExpectBug:
+			if d.VanillaDivergences() == 0 {
+				t.Errorf("%s [%s]: injected bug never diverged over %d vanilla schedules",
+					p.Name, p.Category, schedules)
+			}
+		case corpusgen.ExpectBenign:
+			if d.VanillaDivergences() != 0 {
+				t.Errorf("%s [%s]: benign decoy diverged in %d vanilla schedules (false positive)",
+					p.Name, p.Category, d.VanillaDivergences())
+			}
+		}
+	}
+	for _, c := range corpusgen.Categories() {
+		if !seen[c] {
+			t.Errorf("5-program corpus missing category %q", c)
+		}
+	}
+}
+
+// TestTraceCarriesGenMetadata: a trace recorded for a generated subject
+// carries the (seed, index, corpus, category) provenance through the v2
+// header and a write/read round trip, and still replays.
+func TestTraceCarriesGenMetadata(t *testing.T) {
+	genOpts := corpusgen.Options{Count: 3, Seed: 9}
+	p := corpusgen.One(genOpts, 0) // index 0 is a bug shape by construction
+	subject := explore.GenSubject(p, 3)
+	opts := explore.Options{Schedules: 30, Seed: 5}
+	rep, err := explore.Explore(subject, explore.Vanilla, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var divergent *explore.Run
+	for i := range rep.Runs {
+		if rep.Runs[i].Diverged {
+			divergent = &rep.Runs[i]
+			break
+		}
+	}
+	if divergent == nil {
+		t.Fatalf("%s: no divergent schedule in %d vanilla runs", p.Name, len(rep.Runs))
+	}
+	tr, err := explore.RecordTrace(subject, explore.Vanilla, opts, *divergent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &explore.GenInfo{Seed: p.Seed, Index: p.Index, Corpus: 3, Category: string(p.Category)}
+	if !reflect.DeepEqual(tr.Gen, want) {
+		t.Errorf("trace gen metadata = %+v, want %+v", tr.Gen, want)
+	}
+	path := filepath.Join(t.TempDir(), "gen-trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := explore.ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Gen, want) {
+		t.Errorf("round-tripped gen metadata = %+v, want %+v", back.Gen, want)
+	}
+	res, err := explore.Replay(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdict || res.Mismatches != 0 {
+		t.Errorf("replay verdict=%v mismatches=%d, want faithful reproduction", res.Verdict, res.Mismatches)
+	}
+}

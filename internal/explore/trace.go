@@ -29,16 +29,21 @@ const TraceVersion = 2
 
 // Trace is a recorded schedule, serializable to JSON.
 type Trace struct {
-	Version      int              `json:"version"`
-	Subject      string           `json:"subject"`
-	Source       string           `json:"source"`
-	SnapshotVars []string         `json:"snapshot_vars"`
-	Mode         Mode             `json:"mode"`
-	Strategy     Strategy         `json:"strategy"`
+	Version      int      `json:"version"`
+	Subject      string   `json:"subject"`
+	Source       string   `json:"source"`
+	SnapshotVars []string `json:"snapshot_vars"`
+	Mode         Mode     `json:"mode"`
+	Strategy     Strategy `json:"strategy"`
 	// Engine and DPOR record which machinery produced the original run
 	// (v2 metadata; replay itself is engine-independent).
 	Engine Engine `json:"engine,omitempty"`
 	DPOR   bool   `json:"dpor,omitempty"`
+	// Gen is a generated subject's provenance (v2 metadata, nil for the
+	// hand-written corpus): the (seed, index, corpus) triple regenerates
+	// the exact program, so a soak failure is replayable from the trace
+	// alone even though Source is also embedded.
+	Gen          *GenInfo         `json:"gen,omitempty"`
 	Index        int              `json:"index"`
 	Seed         int64            `json:"seed"`
 	Quantum      uint64           `json:"quantum"`
@@ -96,6 +101,7 @@ func (c *campaign) recordTrace(mode Mode, run Run) (*Trace, error) {
 		Strategy:     c.opts.Strategy,
 		Engine:       c.opts.Engine,
 		DPOR:         c.opts.DPOR,
+		Gen:          c.subject.Gen,
 		Index:        run.Index,
 		Seed:         run.Seed,
 		Quantum:      run.Quantum,
@@ -127,7 +133,7 @@ func Replay(tr *Trace) (*ReplayResult, error) {
 	if tr.Version != 1 && tr.Version != TraceVersion {
 		return nil, fmt.Errorf("explore: unsupported trace version %d", tr.Version)
 	}
-	subject := &Subject{Name: tr.Subject, Source: tr.Source, SnapshotVars: tr.SnapshotVars}
+	subject := &Subject{Name: tr.Subject, Source: tr.Source, SnapshotVars: tr.SnapshotVars, Gen: tr.Gen}
 	c, err := newCampaign(subject, Options{
 		Strategy:     tr.Strategy,
 		Schedules:    1,

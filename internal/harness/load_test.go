@@ -1,0 +1,74 @@
+package harness_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kivati/internal/harness"
+)
+
+// TestLoadDriver: the open-loop driver serves the full request count in
+// every configuration, reports ordered percentiles, and uses the vanilla
+// row as the overhead baseline.
+func TestLoadDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load driver runs full server workloads")
+	}
+	rep, err := harness.RunLoad(harness.LoadOptions{Requests: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "Webstone" || rep.Schema != "kivati-load/v1" {
+		t.Errorf("report header: %s / %s", rep.Schema, rep.Workload)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("%d rows, want vanilla/prevention/bugfinding", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Requests != rep.Requests {
+			t.Errorf("%s: served %d/%d requests", row.Config, row.Requests, rep.Requests)
+		}
+		if row.MeanTicks <= 0 || row.ThroughputRPS <= 0 {
+			t.Errorf("%s: degenerate stats: mean=%f throughput=%f", row.Config, row.MeanTicks, row.ThroughputRPS)
+		}
+		if !(row.P50 <= row.P95 && row.P95 <= row.P99 && row.P99 <= row.WorstTicks) {
+			t.Errorf("%s: percentiles out of order: p50=%d p95=%d p99=%d worst=%d",
+				row.Config, row.P50, row.P95, row.P99, row.WorstTicks)
+		}
+	}
+	if rep.Rows[0].Config != "vanilla" || rep.Rows[0].OverheadPct != 0 {
+		t.Errorf("vanilla row must lead with zero overhead: %+v", rep.Rows[0])
+	}
+	if s := rep.String(); !strings.Contains(s, "p99") || !strings.Contains(s, "vanilla") {
+		t.Errorf("report text missing columns: %q", s)
+	}
+}
+
+// TestLoadDeterministic: the arrival schedule is part of the seed, so two
+// runs produce identical reports.
+func TestLoadDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load driver runs full server workloads")
+	}
+	opts := harness.LoadOptions{Requests: 120, Seed: 8, Parallelism: 1}
+	a, err := harness.RunLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 3
+	b, err := harness.RunLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("load reports differ across runs:\nfirst: %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestLoadRejectsNonServer: only server workloads have request streams.
+func TestLoadRejectsNonServer(t *testing.T) {
+	if _, err := harness.RunLoad(harness.LoadOptions{Workload: "pbzip2"}); err == nil {
+		t.Error("pbzip2 accepted as a load-driver workload")
+	}
+}
