@@ -8,11 +8,15 @@
 // (benign) regions that seed the compile-time whitelist; -optimize applies
 // the annotation optimizer (benign drop, dedupe, coalesce). -lint prints a
 // race diagnostic for every written global with no consistent lock, and
-// combined with -strict exits nonzero when any race is found.
+// combined with -strict exits nonzero when any race is found. -footprints
+// compiles the program and dumps the per-basic-block footprint table the
+// fast path dispatches on — each block's interval (after the value-range
+// analysis) or UNBOUNDED with the escape-causing instruction — so a
+// residency regression can be traced to source without running a benchmark.
 //
 // Usage:
 //
-//	kivati-annotate [-ars] [-lsv] [-lockset] [-optimize] [-lint [-strict]] file.mc
+//	kivati-annotate [-ars] [-lsv] [-lockset] [-optimize] [-lint [-strict]] [-footprints] file.mc
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"kivati/internal/analysis"
 	"kivati/internal/annotate"
+	"kivati/internal/compile"
 	"kivati/internal/minic"
 )
 
@@ -34,6 +39,7 @@ func main() {
 	useLockset := flag.Bool("lockset", false, "run the lockset analysis; print candidate locksets and proven-benign regions")
 	optimize := flag.Bool("optimize", false, "drop proven-benign regions and dedupe/coalesce the AR table")
 	lint := flag.Bool("lint", false, "report shared globals with inconsistent lock protection")
+	footprints := flag.Bool("footprints", false, "compile and dump the per-basic-block footprint table (interval or UNBOUNDED with cause)")
 	strict := flag.Bool("strict", false, "with -lint, exit nonzero when any race is reported")
 	roots := flag.String("roots", "", "comma-separated functions assumed callable with no locks held (lockset roots)")
 	flag.Usage = func() {
@@ -119,6 +125,27 @@ func main() {
 	fmt.Printf("\n# %d functions, %d atomic regions on %d shared variables\n",
 		st.Funcs, st.ARs, st.SharedVars)
 
+	if *footprints {
+		bin, err := compile.Compile(ap, compile.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := compile.FootprintReport(bin)
+		if err != nil {
+			fatal(err)
+		}
+		unbounded := 0
+		fmt.Println("\n# Basic-block footprints (fast-path dispatch table)")
+		fmt.Printf("%-16s %6s %6s  %s\n", "Func", "PC", "Instrs", "Footprint")
+		for _, row := range rows {
+			fmt.Printf("%-16s %6d %6d  %s\n", row.Fn, row.PC, row.Instrs, describeFootprint(row))
+			if row.FP.Unbounded {
+				unbounded++
+			}
+		}
+		fmt.Printf("# %d blocks, %d unbounded\n", len(rows), unbounded)
+	}
+
 	if *lint {
 		races := ap.Locks.Races()
 		fmt.Printf("\n# Lint: %d race(s)\n", len(races))
@@ -129,6 +156,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// describeFootprint renders one footprint row: the non-empty interval
+// components, or UNBOUNDED with the instruction that caused the escape.
+func describeFootprint(row compile.BlockFootprint) string {
+	f := row.FP
+	if f.Unbounded {
+		s := "UNBOUNDED"
+		if row.HasCause {
+			s += fmt.Sprintf(" (cause pc %d: %s)", row.CausePC, row.CauseOp)
+		}
+		return s
+	}
+	var parts []string
+	if f.AbsHi > f.AbsLo {
+		parts = append(parts, fmt.Sprintf("abs [%#x, %#x)", f.AbsLo, f.AbsHi))
+	}
+	if f.SPHi > f.SPLo {
+		parts = append(parts, fmt.Sprintf("SP [%+d, %+d)", f.SPLo, f.SPHi))
+	}
+	if f.FPHi > f.FPLo {
+		parts = append(parts, fmt.Sprintf("FP [%+d, %+d)", f.FPLo, f.FPHi))
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
 }
 
 func fatal(err error) {

@@ -43,7 +43,7 @@ func main() {
 	strategy := flag.String("strategy", "random", "schedule strategy: random or dfs")
 	engine := flag.String("engine", "snapshot", "execution engine: snapshot or replay")
 	benignEvery := flag.Int("benign-every", 5, "every k-th program is a benign decoy (negative disables)")
-	arrays := flag.Bool("arrays", false, "add lock-protected ring-buffer decoys (indirect accesses; exercises the Unbounded footprint escape)")
+	arrays := flag.Bool("arrays", false, "add array decoys: runtime-sized rings (Unbounded footprints) and static-bound sweeps (bounded footprints)")
 	iters := flag.Int("iters", 0, "per-thread iteration budget (0 = default 12)")
 	cores := flag.Int("cores", 1, "simulated cores per campaign")
 	quantum := flag.Uint64("quantum", 0, "preemption quantum override (0 = strategy default)")

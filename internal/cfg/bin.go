@@ -1,0 +1,151 @@
+// Binary basic-block CFGs. While cfg.Build works at MiniC statement
+// granularity for the annotator, BuildBinary partitions a decoded code
+// region (one function of a compiled image) into maximal basic blocks with
+// explicit successor edges — the graph the value-range footprint analysis
+// (internal/valrange) runs its interval fixpoint over. Blocks are cut at
+// jump targets and after control transfers only; SYS stays inside a block
+// (it falls through to the next instruction — the fast path's "kernel
+// boundary" notion is a dispatch property, not a control-flow one).
+package cfg
+
+import "kivati/internal/isa"
+
+// BinBlock is one basic block of a decoded code region.
+type BinBlock struct {
+	ID    int
+	Start uint32   // PC of the block's first instruction
+	PCs   []uint32 // instruction-start PCs, in execution order
+	Succs []int    // successor block IDs, in edge order (see BinGraph)
+}
+
+// End returns the PC one past the block's last instruction.
+func (b *BinBlock) End(decoded []isa.Instr) uint32 {
+	last := b.PCs[len(b.PCs)-1]
+	return last + uint32(decoded[last].Len)
+}
+
+// BinGraph is the basic-block CFG of one code region [Lo, Hi). Edge order
+// is fixed so per-edge analyses can refine: for a conditional jump (JZ,
+// JNZ) the taken edge comes first and the fall-through edge second; every
+// other block has at most one successor. Control transfers that leave the
+// region (RET, HLT, a jump to a PC outside [Lo, Hi)) produce no edge.
+type BinGraph struct {
+	Lo, Hi uint32
+	Blocks []*BinBlock
+	// blockOf maps a PC inside the region to the ID of the block containing
+	// it, or -1 for non-instruction offsets.
+	blockOf []int
+}
+
+// BlockAt returns the ID of the block containing pc, or -1.
+func (g *BinGraph) BlockAt(pc uint32) int {
+	if pc < g.Lo || pc >= g.Hi {
+		return -1
+	}
+	return g.blockOf[pc-g.Lo]
+}
+
+// BuildBinary builds the basic-block CFG of the region [lo, hi) of a
+// decoded image (decoded is indexed by PC as produced by
+// isa.DecodeProgram). The region must start at an instruction boundary;
+// decoding is assumed to stay in phase across the region (the image-wide
+// decode guarantees it).
+func BuildBinary(decoded []isa.Instr, lo, hi uint32) *BinGraph {
+	g := &BinGraph{Lo: lo, Hi: hi, blockOf: make([]int, hi-lo)}
+	for i := range g.blockOf {
+		g.blockOf[i] = -1
+	}
+
+	// Pass 1: leaders — the region start, every in-region jump target, and
+	// every instruction following a control transfer.
+	leader := make(map[uint32]bool, 8)
+	leader[lo] = true
+	for pc := lo; pc < hi; pc += uint32(decoded[pc].Len) {
+		in := decoded[pc]
+		next := pc + uint32(in.Len)
+		switch in.Op {
+		case isa.OpJMP, isa.OpJZ, isa.OpJNZ:
+			if in.Addr >= lo && in.Addr < hi {
+				leader[in.Addr] = true
+			}
+			if next < hi {
+				leader[next] = true
+			}
+		case isa.OpRET, isa.OpHLT:
+			if next < hi {
+				leader[next] = true
+			}
+		}
+	}
+
+	// Pass 2: cut blocks at leaders.
+	var cur *BinBlock
+	for pc := lo; pc < hi; pc += uint32(decoded[pc].Len) {
+		if cur == nil || leader[pc] {
+			cur = &BinBlock{ID: len(g.Blocks), Start: pc}
+			g.Blocks = append(g.Blocks, cur)
+		}
+		cur.PCs = append(cur.PCs, pc)
+		g.blockOf[pc-lo] = cur.ID
+		in := decoded[pc]
+		switch in.Op {
+		case isa.OpJMP, isa.OpJZ, isa.OpJNZ, isa.OpRET, isa.OpHLT:
+			cur = nil
+		}
+	}
+
+	// Pass 3: edges. Taken edge first for conditionals.
+	for _, b := range g.Blocks {
+		last := b.PCs[len(b.PCs)-1]
+		in := decoded[last]
+		next := last + uint32(in.Len)
+		addEdge := func(target uint32) {
+			if id := g.BlockAt(target); id >= 0 {
+				b.Succs = append(b.Succs, id)
+			}
+		}
+		switch in.Op {
+		case isa.OpJMP:
+			addEdge(in.Addr)
+		case isa.OpJZ, isa.OpJNZ:
+			addEdge(in.Addr)
+			addEdge(next)
+		case isa.OpRET, isa.OpHLT:
+			// Region exit.
+		default:
+			addEdge(next)
+		}
+	}
+	return g
+}
+
+// BackEdgeTargets returns the set of block IDs that are targets of a back
+// edge (an edge to a block on the DFS stack), reachable from block 0 — the
+// widening points a fixpoint over the graph needs. The classic DFS
+// coloring: an edge into a gray node closes a cycle.
+func (g *BinGraph) BackEdgeTargets() map[int]bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	targets := map[int]bool{}
+	var dfs func(int)
+	dfs = func(n int) {
+		color[n] = gray
+		for _, s := range g.Blocks[n].Succs {
+			switch color[s] {
+			case white:
+				dfs(s)
+			case gray:
+				targets[s] = true
+			}
+		}
+		color[n] = black
+	}
+	if len(g.Blocks) > 0 {
+		dfs(0)
+	}
+	return targets
+}

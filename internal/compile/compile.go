@@ -171,7 +171,7 @@ func compileProgram(ap *annotate.Program, opts Options) (*Binary, error) {
 		return nil, fmt.Errorf("compile: preprocessing pass: %w", err)
 	}
 	bin.Boundary = bt
-	fps, err := Footprints(code)
+	fps, err := FootprintsAnalyzed(code, bin.FuncEntries)
 	if err != nil {
 		return nil, fmt.Errorf("compile: footprint pass: %w", err)
 	}

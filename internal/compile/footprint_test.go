@@ -154,14 +154,95 @@ func TestCompiledBinaryHasFootprints(t *testing.T) {
 	if len(bin.Footprints) != len(bin.Code) {
 		t.Fatalf("footprint table len %d, code len %d", len(bin.Footprints), len(bin.Code))
 	}
-	fps2, err := compile.Footprints(bin.Code)
+	fps2, err := compile.FootprintsAnalyzed(bin.Code, bin.FuncEntries)
 	if err != nil {
-		t.Fatalf("Footprints: %v", err)
+		t.Fatalf("FootprintsAnalyzed: %v", err)
 	}
 	for pc := range fps2 {
 		if fps2[pc] != bin.Footprints[pc] {
 			t.Fatalf("pc %#x: recomputed footprint %+v != stored %+v", pc, fps2[pc], bin.Footprints[pc])
 		}
+	}
+}
+
+// TestFootprintAnalyzedBoundedLoop pins the tentpole win end to end: a
+// static-length loop over a fixed global array compiles to indirect
+// accesses whose base+index the value-range analysis can bound, so the
+// compiled binary's footprint table must not contain a single Unbounded
+// entry inside main — where the legacy syntactic pass gives up on the very
+// first LDR/STR through a general register.
+func TestFootprintAnalyzedBoundedLoop(t *testing.T) {
+	prog, err := annotateSrc(t, `
+		int arr[8];
+		int sum;
+		void main() {
+			int i = 0;
+			while (i < 8) {
+				arr[i] = arr[i] + i;
+				i = i + 1;
+			}
+			sum = arr[3];
+		}
+	`)
+	if err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	bin, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	legacy, err := compile.Footprints(bin.Code)
+	if err != nil {
+		t.Fatalf("Footprints: %v", err)
+	}
+	legacyUnbounded, analyzedUnbounded := 0, 0
+	for pc, f := range bin.Footprints {
+		if bin.FuncAt(uint32(pc)) != "main" {
+			continue
+		}
+		if legacy[pc].Unbounded {
+			legacyUnbounded++
+		}
+		if f.Unbounded {
+			analyzedUnbounded++
+			t.Errorf("pc %#x: analyzed footprint still Unbounded", pc)
+		}
+	}
+	if legacyUnbounded == 0 {
+		t.Fatal("test program exercises no indirect access (legacy pass never gave up)")
+	}
+	if analyzedUnbounded == 0 {
+		t.Logf("analysis bounded all %d blocks the legacy pass left Unbounded", legacyUnbounded)
+	}
+}
+
+// TestFootprintAnalyzedUnboundedStaysUnbounded: an index loaded from memory
+// is beyond the analysis (LD results are Top), so the block must stay
+// Unbounded — the demotion counter split depends on this being honest.
+func TestFootprintAnalyzedUnboundedStaysUnbounded(t *testing.T) {
+	prog, err := annotateSrc(t, `
+		int arr[8];
+		int idx;
+		int out;
+		void main() {
+			out = arr[idx];
+		}
+	`)
+	if err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	bin, err := compile.Compile(prog, compile.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	unbounded := 0
+	for pc, f := range bin.Footprints {
+		if bin.FuncAt(uint32(pc)) == "main" && f.Unbounded {
+			unbounded++
+		}
+	}
+	if unbounded == 0 {
+		t.Fatal("memory-loaded index bounded: analysis is claiming knowledge it cannot have")
 	}
 }
 

@@ -109,10 +109,16 @@ type Options struct {
 	// negative disables benign programs entirely).
 	BenignEvery int
 	// Arrays adds a lock-protected ring-buffer decoy updated through
-	// dynamic indices: the indirect accesses give the enclosing blocks an
+	// dynamic indices modulo a runtime-loaded ring size: the divisor is
+	// beyond the value-range analysis, so the indirect accesses keep an
 	// Unbounded static footprint, exercising the fast path's footprint
 	// escape (vm.Demotions.Unbounded).
 	Arrays bool
+	// BoundedArrays adds a lock-protected fixed-length array decoy swept by
+	// a static-bound loop: the value-range analysis proves the index range,
+	// so the indirect accesses get a tight footprint and the enclosing
+	// blocks must never demote via Unbounded.
+	BoundedArrays bool
 	// Iters is the per-thread iteration budget before per-program jitter
 	// (default 12; the generator draws from [Iters-2, Iters+2]).
 	Iters int

@@ -23,7 +23,7 @@ func FuzzCorpusGen(f *testing.F) {
 			index = -(index + 1)
 		}
 		index %= 1024
-		opts := corpusgen.Options{Count: index + 1, Seed: seed, Arrays: arrays}
+		opts := corpusgen.Options{Count: index + 1, Seed: seed, Arrays: arrays, BoundedArrays: arrays}
 		p := corpusgen.One(opts, index)
 		if p.Source == "" {
 			t.Fatalf("empty source for seed=%d index=%d", seed, index)

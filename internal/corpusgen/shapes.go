@@ -13,7 +13,8 @@ import (
 // pad widths, increments, reset strides, decoy layout and compute churn.
 
 // Name pools. Pools are disjoint from each other and from the driver's
-// reserved names (gen_done, gen_lk, gen_dlk, gen_ring, step, work, main,
+// reserved names (gen_done, gen_lk, gen_dlk, gen_ring, gen_rsz, gen_arr,
+// step, work, main,
 // mash and the poke_/zap_/flip_/peek_ helper prefixes), so a program never
 // collides with itself.
 var (
@@ -298,9 +299,12 @@ func (b *builder) emitBenign(v, w string) {
 
 // emitDecoys adds 1-3 lock-protected counters with commutative updates
 // (each increment depends only on id, i and constants, so every thread
-// order sums to the same totals) and, with Options.Arrays, a lock-protected
-// ring buffer updated through dynamic indices — the indirect accesses give
-// those blocks an Unbounded static footprint.
+// order sums to the same totals) and, per the array options, lock-protected
+// array decoys at both ends of the footprint analysis: a ring buffer
+// indexed modulo a runtime-loaded size (provably Unbounded — the divisor is
+// a memory load, beyond any static bound) and a fixed array swept by a
+// static-bound loop (provably bounded — the value-range pass tracks the
+// induction variable).
 func (b *builder) emitDecoys() {
 	n := 1 + b.rng.Intn(3)
 	b.globals = append(b.globals, "int gen_dlk;")
@@ -322,12 +326,33 @@ func (b *builder) emitDecoys() {
 		b.pattern(cond, lines...)
 	}
 	if b.opts.Arrays {
-		b.globals = append(b.globals, "int gen_ring[8];")
+		// The ring size lives in a global initialized by main: the index
+		// divisor is a memory load, so the value-range analysis cannot
+		// bound the ring accesses and the block stays Unbounded (a constant
+		// divisor would be bounded by the modulo rule and defeat the
+		// shape's purpose).
+		b.globals = append(b.globals, "int gen_ring[8];", "int gen_rsz;")
+		b.init = append(b.init, "    gen_rsz = 8;\n")
+		b.local("ri")
 		mult := 3 + b.rng.Intn(5)
-		idx := fmt.Sprintf("(id * %d + i) %% 8", mult)
 		b.pattern("",
 			"lock(gen_dlk);",
-			fmt.Sprintf("gen_ring[%s] = gen_ring[%s] + 1;", idx, idx),
+			fmt.Sprintf("ri = (id * %d + i) %% gen_rsz;", mult),
+			"gen_ring[ri] = gen_ring[ri] + 1;",
+			"unlock(gen_dlk);",
+		)
+	}
+	if b.opts.BoundedArrays {
+		b.globals = append(b.globals, "int gen_arr[8];")
+		b.local("aj")
+		amt := b.rng.Intn(5)
+		b.pattern("",
+			"lock(gen_dlk);",
+			"aj = 0;",
+			"while (aj < 8) {",
+			fmt.Sprintf("    gen_arr[aj] = gen_arr[aj] + id + %d;", amt),
+			"    aj = aj + 1;",
+			"}",
 			"unlock(gen_dlk);",
 		)
 	}

@@ -1,0 +1,124 @@
+// Indexed edge-fact solver: a second worklist fixpoint engine for analyses
+// over plain integer-indexed graphs (the binary basic-block CFGs of
+// cfg.BuildBinary) whose transfer functions produce one fact per outgoing
+// edge — the shape branch refinement needs, where the two sides of a
+// conditional jump learn different things. Unlike Solve it supports
+// infinite-height lattices through a widening operator applied at caller-
+// designated nodes (loop heads), plus a visit-count failsafe that forces
+// widening everywhere if a misclassified graph would otherwise diverge.
+package dataflow
+
+// EdgeAnalysis defines one forward data-flow problem over an indexed graph.
+// Facts follow the same purity contract as Analysis: Join, Widen and Flow
+// return new (or unchanged) values and never mutate their arguments.
+type EdgeAnalysis interface {
+	// Bottom returns the fact for unreachable program points (the join
+	// identity).
+	Bottom() Facts
+	// Entry returns the fact entering graph entry node n.
+	Entry(n int) Facts
+	// Join merges facts arriving over multiple incoming edges.
+	Join(a, b Facts) Facts
+	// Widen extrapolates old toward new so chains of strictly growing
+	// facts terminate; the result must over-approximate Join(old, new).
+	Widen(old, new Facts) Facts
+	// Flow computes the node's per-edge output facts from its input fact,
+	// one per successor, aligned with the succs slice the solver was given.
+	Flow(n int, in Facts) []Facts
+}
+
+// EdgeResult holds the fixpoint: the fact entering each node.
+type EdgeResult struct {
+	In []Facts
+}
+
+// solveMaxVisits is the failsafe: once a node has been recomputed this many
+// times, every further update to it widens regardless of widenAt, so the
+// fixpoint terminates even if a back-edge target was not designated.
+const solveMaxVisits = 64
+
+// SolveEdges runs the worklist algorithm over a graph of numNodes nodes
+// with successor function succs, entry nodes entries, and widening applied
+// at nodes where widenAt reports true (loop heads). The input fact of a
+// node is the join of its predecessors' corresponding edge outputs (plus
+// Entry for entry nodes); nodes joined from nothing keep Bottom and their
+// Flow results are still propagated (an analysis should map Bottom through
+// unchanged).
+func SolveEdges(numNodes int, succs func(int) []int, entries []int, widenAt func(int) bool, a EdgeAnalysis) *EdgeResult {
+	res := &EdgeResult{In: make([]Facts, numNodes)}
+	for n := 0; n < numNodes; n++ {
+		res.In[n] = a.Bottom()
+	}
+	// edgeOut[n][i] is the fact Flow(n) produced for successor i.
+	edgeOut := make([][]Facts, numNodes)
+
+	work := make([]int, 0, numNodes)
+	inWork := make([]bool, numNodes)
+	push := func(n int) {
+		if !inWork[n] {
+			inWork[n] = true
+			work = append(work, n)
+		}
+	}
+	isEntry := make([]bool, numNodes)
+	for _, e := range entries {
+		res.In[e] = a.Entry(e)
+		isEntry[e] = true
+		push(e)
+	}
+	visits := make([]int, numNodes)
+
+	// preds[n] lists (pred node, edge index) pairs so a node's input can be
+	// recomputed from its incoming edge facts.
+	type inEdge struct{ n, i int }
+	preds := make([][]inEdge, numNodes)
+	for n := 0; n < numNodes; n++ {
+		for i, s := range succs(n) {
+			preds[s] = append(preds[s], inEdge{n, i})
+		}
+	}
+
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		inWork[n] = false
+
+		in := a.Bottom()
+		if isEntry[n] {
+			in = a.Entry(n)
+		}
+		for _, e := range preds[n] {
+			if edgeOut[e.n] == nil {
+				continue
+			}
+			in = a.Join(in, edgeOut[e.n][e.i])
+		}
+		if visits[n] > 0 {
+			if widenAt(n) || visits[n] >= solveMaxVisits {
+				in = a.Widen(res.In[n], in)
+			}
+			if in.Equal(res.In[n]) && edgeOut[n] != nil {
+				continue
+			}
+		}
+		visits[n]++
+		res.In[n] = in
+		outs := a.Flow(n, in)
+		changed := edgeOut[n] == nil
+		if !changed {
+			for i := range outs {
+				if !outs[i].Equal(edgeOut[n][i]) {
+					changed = true
+					break
+				}
+			}
+		}
+		edgeOut[n] = outs
+		if changed {
+			for _, s := range succs(n) {
+				push(s)
+			}
+		}
+	}
+	return res
+}

@@ -35,6 +35,9 @@ type SoakOptions struct {
 	Strategy  explore.Strategy // default random
 	Engine    explore.Engine   // default snapshot
 	// BenignEvery / Arrays / Iters pass through to corpusgen.Options.
+	// Arrays enables both array decoy shapes: the runtime-sized ring
+	// (Unbounded footprints) and the static-bound sweep (bounded
+	// footprints), so one flag covers both ends of the footprint analysis.
 	BenignEvery int
 	Arrays      bool
 	Iters       int
@@ -68,12 +71,13 @@ func (o SoakOptions) withDefaults() SoakOptions {
 // own options; exposed so tests and replays regenerate the same corpus.
 func (o SoakOptions) genOptions() corpusgen.Options {
 	return corpusgen.Options{
-		Count:       o.Programs,
-		Seed:        o.Seed,
-		BenignEvery: o.BenignEvery,
-		Arrays:      o.Arrays,
-		Iters:       o.Iters,
-		Parallelism: o.Parallelism,
+		Count:         o.Programs,
+		Seed:          o.Seed,
+		BenignEvery:   o.BenignEvery,
+		Arrays:        o.Arrays,
+		BoundedArrays: o.Arrays,
+		Iters:         o.Iters,
+		Parallelism:   o.Parallelism,
 	}
 }
 

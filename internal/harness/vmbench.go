@@ -14,8 +14,10 @@ import (
 )
 
 // VMBenchSchema versions the BENCH_vm.json format. v2 added the per-row
-// demotion-reason counters.
-const VMBenchSchema = "kivati-bench-vm/v2"
+// demotion-reason counters; v3 split the unbounded counter into unbounded
+// vs checked_overlap (merge-inherited checked blocks) and added the
+// ArrayScan workload row.
+const VMBenchSchema = "kivati-bench-vm/v3"
 
 // VMBenchRow is one workload × configuration interpreter measurement.
 // Instructions, KernelCrossings, Ticks and Demotions are deterministic
@@ -51,15 +53,16 @@ type VMBenchReport struct {
 const vmBenchReps = 3
 
 // RunVMBench measures raw interpreter throughput for every workload in the
-// performance suite under two configurations: vanilla (watchpoint-free, so
-// the fast path should dominate) and prevention with all optimizations
-// (watchpoints arm and clear, so the machine oscillates between execution
-// modes). Runs execute serially — wall-clock throughput is the
-// measurement, so the pool would only add scheduler noise.
+// bench suite (the five paper analogs plus the array-heavy ArrayScan) under
+// two configurations: vanilla (watchpoint-free, so the fast path should
+// dominate) and prevention with all optimizations (watchpoints arm and
+// clear, so the machine oscillates between execution modes). Runs execute
+// serially — wall-clock throughput is the measurement, so the pool would
+// only add scheduler noise.
 func RunVMBench(o Options) (*VMBenchReport, error) {
 	o = o.defaults()
 	rep := &VMBenchReport{Schema: VMBenchSchema}
-	for _, spec := range workloads.PerfSuite(workloads.Scale(o.Scale)) {
+	for _, spec := range workloads.BenchSuite(workloads.Scale(o.Scale)) {
 		a, err := sharedCache.prepare(spec)
 		if err != nil {
 			return nil, err
@@ -108,13 +111,13 @@ func (r *VMBenchReport) String() string {
 	fmt.Fprintf(&b, "VM interpreter throughput (%s)\n", r.Schema)
 	fmt.Fprintf(&b, "%-10s %-22s %12s %9s %10s %8s %10s  %s\n",
 		"Workload", "Config", "Instr", "Minstr/s", "FastRes%", "Kernel", "Ticks",
-		"Demotions(overlap/unbounded/timer/trap)")
+		"Demotions(overlap/unbounded/merged/timer/trap)")
 	for _, row := range r.Rows {
 		d := row.Demotions
-		fmt.Fprintf(&b, "%-10s %-22s %12d %9.2f %10.1f %8d %10d  %d/%d/%d/%d\n",
+		fmt.Fprintf(&b, "%-10s %-22s %12d %9.2f %10.1f %8d %10d  %d/%d/%d/%d/%d\n",
 			row.Workload, row.Config, row.Instructions, row.MInstrPerSec,
 			row.FastResidencyPct, row.KernelCrossings, row.Ticks,
-			d.ArmedOverlap, d.Unbounded, d.TimerEdge, d.WouldTrap)
+			d.ArmedOverlap, d.Unbounded, d.CheckedOverlap, d.TimerEdge, d.WouldTrap)
 	}
 	return b.String()
 }

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"testing"
+
+	"kivati/internal/kernel"
+	"kivati/internal/workloads"
+)
+
+// The array-indexing acceptance row: ArrayScan's inner loops index fixed
+// arrays through computed registers, which demoted every such block as
+// Unbounded before the value-range footprint analysis. Under prevention
+// with all optimizations the workload must now stay on the fast path with
+// zero Unbounded demotions.
+func TestArrayScanPreventionResidency(t *testing.T) {
+	o := Options{}.defaults()
+	spec := workloads.ArrayScan(workloads.Scale(o.Scale))
+	a, err := sharedCache.prepare(spec)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	res, err := a.run(a.config(o, kernel.Prevention, kernel.OptOptimized, false))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Stats.Begins == 0 {
+		t.Fatal("no atomic regions began; prevention was not exercised")
+	}
+	if res.Demotions.Unbounded != 0 {
+		t.Errorf("Demotions.Unbounded = %d, want 0 (demotions: %+v)",
+			res.Demotions.Unbounded, res.Demotions)
+	}
+	if res.Stats.Instructions == 0 {
+		t.Fatal("no instructions executed")
+	}
+	resid := 100 * float64(res.FastInstructions) / float64(res.Stats.Instructions)
+	if resid < 90 {
+		t.Errorf("prevention-optimized fast residency = %.1f%%, want >= 90%%", resid)
+	}
+}

@@ -202,6 +202,47 @@ func (rf *RegisterFile) MayMatchRange(tid int, lo, hi uint32) bool {
 	return false
 }
 
+// AddrRange is a half-open address interval [Lo, Hi), the unit of the
+// multi-interval disjointness predicate below.
+type AddrRange struct {
+	Lo, Hi uint32
+}
+
+// MayMatchRanges is MayMatchRange over several intervals in one pass: it
+// reports whether any access by thread tid inside any of the given
+// intervals could hit an armed register. A block footprint has up to three
+// components (absolute, SP-relative, FP-relative evaluated against live
+// registers); scanning the register file once for all of them keeps the
+// block-edge decision O(registers), not O(registers × components).
+func (rf *RegisterFile) MayMatchRanges(tid int, ranges []AddrRange) bool {
+	if rf.armed == 0 {
+		return false
+	}
+	hit := false
+	for _, r := range ranges {
+		if r.Lo < rf.hi && rf.lo < r.Hi {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return false
+	}
+	for i := range rf.WPs {
+		wp := &rf.WPs[i]
+		if !wp.Armed || wp.LocalOf == tid {
+			continue
+		}
+		end := wp.Addr + uint32(wp.Size)
+		for _, r := range ranges {
+			if r.Lo < end && wp.Addr < r.Hi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Match checks an access (addr, size sz, type t) performed by thread tid
 // against the armed registers and returns the index of the first register
 // that traps, or -1. A register whose LocalOf equals tid does not trap

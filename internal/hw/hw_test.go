@@ -476,3 +476,69 @@ func TestSurveyMatchesPaperTable1(t *testing.T) {
 		t.Errorf("DefaultNumWatchpoints = %d, want %d", DefaultNumWatchpoints, x86.Num)
 	}
 }
+
+func TestMayMatchRanges(t *testing.T) {
+	rf := NewRegisterFile(4)
+	all := []AddrRange{{0, ^uint32(0)}}
+	if rf.MayMatchRanges(0, all) {
+		t.Error("empty file: MayMatchRanges = true")
+	}
+	rf.Set(0, Watchpoint{Addr: 0x1000, Size: 8, Types: Write, Armed: true, Owner: 1, LocalOf: -1})
+	rf.Set(1, Watchpoint{Addr: 0x3000, Size: 4, Types: Read, Armed: true, Owner: 2, LocalOf: 2})
+
+	if rf.MayMatchRanges(5, []AddrRange{{0x2000, 0x3000}, {0x4000, 0x5000}}) {
+		t.Error("disjoint range set reported as possible match")
+	}
+	if !rf.MayMatchRanges(5, []AddrRange{{0x2000, 0x3000}, {0x1004, 0x1008}}) {
+		t.Error("second range overlapping register 0 missed")
+	}
+	// LocalOf exemption applies per thread, across the whole set.
+	if rf.MayMatchRanges(2, []AddrRange{{0x3000, 0x3004}}) {
+		t.Error("LocalOf thread not exempted")
+	}
+	if !rf.MayMatchRanges(5, []AddrRange{{0x3000, 0x3004}}) {
+		t.Error("remote thread not matched on register 1")
+	}
+	// Half-open on both sides, as MayMatchRange.
+	if rf.MayMatchRanges(5, []AddrRange{{0x1008, 0x2000}, {0x0f00, 0x1000}}) {
+		t.Error("touching-but-disjoint ranges matched")
+	}
+	if rf.MayMatchRanges(5, nil) {
+		t.Error("empty range set matched")
+	}
+}
+
+// Property: MayMatchRanges agrees with the disjunction of MayMatchRange
+// over its elements — the multi-interval scan is exactly "any interval may
+// match".
+func TestMayMatchRangesEquivalence(t *testing.T) {
+	sizes := []uint8{1, 2, 4, 8}
+	f := func(addrs [3]uint16, szSel [3]uint8, armedMask uint8, local int8,
+		r1lo, r1span, r2lo, r2span uint16, tid int8) bool {
+		rf := NewRegisterFile(3)
+		for i := 0; i < 3; i++ {
+			rf.Set(i, Watchpoint{
+				Addr:    uint32(addrs[i]),
+				Size:    sizes[szSel[i]%4],
+				Types:   ReadWrite,
+				Armed:   armedMask&(1<<i) != 0,
+				Owner:   0,
+				LocalOf: int(local),
+			})
+		}
+		ranges := []AddrRange{
+			{uint32(r1lo), uint32(r1lo) + uint32(r1span)},
+			{uint32(r2lo), uint32(r2lo) + uint32(r2span)},
+		}
+		want := false
+		for _, r := range ranges {
+			if rf.MayMatchRange(int(tid), r.Lo, r.Hi) {
+				want = true
+			}
+		}
+		return rf.MayMatchRanges(int(tid), ranges) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -82,6 +82,31 @@ func (f *Footprint) addFP(lo, hi int64) {
 	}
 }
 
+// AddAbsRange widens the absolute interval to include the half-open byte
+// range [lo, hi). Exported for analyses (internal/valrange) that prove
+// bounds for accesses InstrFootprint alone cannot track.
+func (f *Footprint) AddAbsRange(lo, hi uint32) {
+	if hi <= lo {
+		return
+	}
+	if f.AbsHi == f.AbsLo {
+		f.AbsLo, f.AbsHi = lo, hi
+		return
+	}
+	if lo < f.AbsLo {
+		f.AbsLo = lo
+	}
+	if hi > f.AbsHi {
+		f.AbsHi = hi
+	}
+}
+
+// AddSPRange widens the entry-SP-relative interval to include [lo, hi).
+func (f *Footprint) AddSPRange(lo, hi int64) { f.addSP(lo, hi) }
+
+// AddFPRange widens the entry-FP-relative interval to include [lo, hi).
+func (f *Footprint) AddFPRange(lo, hi int64) { f.addFP(lo, hi) }
+
 // InstrFootprint returns the footprint of a single instruction's own memory
 // accesses, relative to the register state just before it executes. It
 // mirrors the access set the legacy interpreter records for the post-commit

@@ -1,0 +1,397 @@
+// Package valrange is the interval (value-range) abstract interpretation
+// over compiled binaries that lets compile.Footprints bound indirect
+// accesses. For every program point of every compiled function it tracks,
+// per register and per frame slot, a closed interval of possible values —
+// either absolute (constants, globals-relative address arithmetic, loop
+// induction variables, masked/modulo ring indices) or frame-relative
+// (offsets from the function's entry stack pointer). The fixpoint runs over
+// cfg.BuildBinary graphs with dataflow.SolveEdges, widening at back-edge
+// targets and refining intervals along the two sides of conditional jumps
+// through comparison-predicate provenance.
+//
+// Soundness contract: an interval claims to contain the exact int64 value a
+// register or slot holds, at every execution reaching that program point,
+// for the wrapping semantics the VM implements (vm.alu). Two rules keep the
+// claim honest:
+//
+//   - Wrap-to-Top: ADD/SUB/MUL/SHL results escape to Top whenever any
+//     operand-corner computation could overflow int64, because the VM wraps
+//     where mathematical intervals do not. Branch refinement runs before
+//     body arithmetic, so loop-widened induction variables come back to
+//     finite ranges where it matters.
+//   - Frame escape: slot tracking assumes a function's frame is written
+//     only through its own tracked stores. The moment any analyzed function
+//     lets a frame address escape — stores a frame-derived value to memory,
+//     passes one to a syscall, returns one, or has one in an argument
+//     register at a call — slot tracking is disabled for the whole image
+//     and the pass degrades to register-only precision.
+//
+// Beyond that the pass inherits the standard memory-safety assumption of
+// compiler-side analyses (see DESIGN.md): stores stay within the objects
+// the program indexes, so one thread's array write cannot scribble over
+// another thread's live frame. The differential oracle and soak gates
+// enforce the end-to-end consequence (identical behavior across dispatch
+// modes) on every corpus program.
+package valrange
+
+import (
+	"math"
+
+	"kivati/internal/isa"
+)
+
+type kind uint8
+
+const (
+	kBot   kind = iota // unreachable: no value
+	kAbs               // value ∈ [lo, hi]
+	kFrame             // value = frame base + o with o ∈ [lo, hi]; frame base = entry SP
+	kTop               // any int64
+)
+
+// Val is an abstract value: a closed int64 interval, absolute or relative
+// to the function's frame base. Top and Bot carry no interval.
+type Val struct {
+	k      kind
+	lo, hi int64
+}
+
+func top() Val        { return Val{k: kTop} }
+func bottom() Val     { return Val{k: kBot} }
+func cst(v int64) Val { return Val{k: kAbs, lo: v, hi: v} }
+
+func mk(k kind, lo, hi int64) Val {
+	if lo == math.MinInt64 && hi == math.MaxInt64 {
+		return top()
+	}
+	return Val{k: k, lo: lo, hi: hi}
+}
+
+func (v Val) frameSingleton() (int64, bool) {
+	if v.k == kFrame && v.lo == v.hi {
+		return v.lo, true
+	}
+	return 0, false
+}
+
+func (v Val) absSingleton() (int64, bool) {
+	if v.k == kAbs && v.lo == v.hi {
+		return v.lo, true
+	}
+	return 0, false
+}
+
+// isFrameBased reports whether the value may be an address into the
+// function's own frame — the escape trigger.
+func (v Val) isFrameBased() bool { return v.k == kFrame }
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func joinVal(a, b Val) Val {
+	if a.k == kBot {
+		return b
+	}
+	if b.k == kBot {
+		return a
+	}
+	if a.k == kTop || b.k == kTop || a.k != b.k {
+		return top()
+	}
+	return mk(a.k, minI(a.lo, b.lo), maxI(a.hi, b.hi))
+}
+
+// widenVal extrapolates old toward new: an endpoint that moved jumps to
+// infinity, so strictly growing chains stabilize in one step.
+func widenVal(old, new Val) Val {
+	if old.k == kBot {
+		return new
+	}
+	if new.k == kBot {
+		return old
+	}
+	if old.k == kTop || new.k == kTop || old.k != new.k {
+		return top()
+	}
+	lo, hi := old.lo, old.hi
+	if new.lo < lo {
+		lo = math.MinInt64
+	}
+	if new.hi > hi {
+		hi = math.MaxInt64
+	}
+	return mk(old.k, lo, hi)
+}
+
+// Overflow-checked scalar ops: ok is false when the mathematical result
+// does not fit int64 (the VM would wrap).
+
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (a < 0) == (b < 0) && (s < 0) != (a < 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subOv(a, b int64) (int64, bool) {
+	d := a - b
+	if (a < 0) != (b < 0) && (d < 0) != (a < 0) {
+		return 0, false
+	}
+	return d, true
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// vAdd computes a + b under the base algebra: abs+abs stays abs,
+// frame±abs stays frame, frame+frame is untrackable. Any endpoint overflow
+// escapes to Top (wrap-to-Top rule).
+func vAdd(a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	if a.k == kTop || b.k == kTop {
+		return top()
+	}
+	var k kind
+	switch {
+	case a.k == kAbs && b.k == kAbs:
+		k = kAbs
+	case a.k == kFrame && b.k == kAbs, a.k == kAbs && b.k == kFrame:
+		k = kFrame
+	default:
+		return top()
+	}
+	lo, ok1 := addOv(a.lo, b.lo)
+	hi, ok2 := addOv(a.hi, b.hi)
+	if !ok1 || !ok2 {
+		return top()
+	}
+	return mk(k, lo, hi)
+}
+
+// vSub: abs−abs and frame−abs keep their base; frame−frame cancels the
+// base and yields the absolute offset difference.
+func vSub(a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	if a.k == kTop || b.k == kTop {
+		return top()
+	}
+	var k kind
+	switch {
+	case a.k == kAbs && b.k == kAbs, a.k == kFrame && b.k == kFrame:
+		k = kAbs
+	case a.k == kFrame && b.k == kAbs:
+		k = kFrame
+	default:
+		return top()
+	}
+	lo, ok1 := subOv(a.lo, b.hi)
+	hi, ok2 := subOv(a.hi, b.lo)
+	if !ok1 || !ok2 {
+		return top()
+	}
+	return mk(k, lo, hi)
+}
+
+func vMul(a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	if a.k != kAbs || b.k != kAbs {
+		return top()
+	}
+	var lo, hi int64 = math.MaxInt64, math.MinInt64
+	for _, x := range [2]int64{a.lo, a.hi} {
+		for _, y := range [2]int64{b.lo, b.hi} {
+			p, ok := mulOv(x, y)
+			if !ok {
+				return top()
+			}
+			lo, hi = minI(lo, p), maxI(hi, p)
+		}
+	}
+	return mk(kAbs, lo, hi)
+}
+
+// vDiv models the VM's truncating division for provably positive divisors
+// (monotone in the dividend); everything else — including a divisor range
+// containing zero, where the VM faults — escapes to Top, which is a sound
+// superset of the non-faulting executions.
+func vDiv(a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	c, ok := b.absSingleton()
+	if a.k != kAbs || !ok || c < 1 {
+		return top()
+	}
+	return mk(kAbs, a.lo/c, a.hi/c)
+}
+
+// vMod bounds a % b for divisors provably ≥ 1: the result has the sign of
+// the dividend and magnitude below both |a| and b. An unknown dividend
+// still yields ±(b−1) — the rule that bounds `x % ringsize` indices even
+// when x itself is untracked.
+func vMod(a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	if b.k != kAbs || b.lo < 1 {
+		return top()
+	}
+	if a.k == kTop {
+		return mk(kAbs, -(b.hi - 1), b.hi-1)
+	}
+	if a.k != kAbs {
+		return top()
+	}
+	m := b.hi - 1 // b.hi ≥ b.lo ≥ 1
+	lo := int64(0)
+	if a.lo < 0 {
+		lo = maxI(-m, a.lo)
+	}
+	hi := int64(0)
+	if a.hi > 0 {
+		hi = minI(m, a.hi)
+	}
+	return mk(kAbs, lo, hi)
+}
+
+// vAnd: masking with a provably non-negative operand bounds the result to
+// [0, that operand] (the classic mask rule for power-of-two ring indices).
+func vAnd(a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	aFin := a.k == kAbs && a.lo >= 0
+	bFin := b.k == kAbs && b.lo >= 0
+	switch {
+	case aFin && bFin:
+		return mk(kAbs, 0, minI(a.hi, b.hi))
+	case aFin:
+		return mk(kAbs, 0, a.hi)
+	case bFin:
+		return mk(kAbs, 0, b.hi)
+	}
+	return top()
+}
+
+// vShl: a << k is a * 2^k for a singleton in-range count (the VM masks the
+// count with 63; k = 63 cannot be expressed as an int64 multiplier).
+func vShl(a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	k, ok := b.absSingleton()
+	if a.k != kAbs || !ok || k < 0 || k > 62 {
+		return top()
+	}
+	return vMul(a, cst(int64(1)<<uint(k)))
+}
+
+// vShr: the VM shifts logically; on non-negative values that coincides with
+// the monotone arithmetic shift.
+func vShr(a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	k, ok := b.absSingleton()
+	if a.k != kAbs || !ok || k < 0 || k > 63 || a.lo < 0 {
+		return top()
+	}
+	return mk(kAbs, a.lo>>uint(k), a.hi>>uint(k))
+}
+
+// cmpVal folds a comparison when the operand intervals decide it (same
+// base, so values are comparable), else returns the boolean range [0, 1].
+func cmpVal(op isa.Op, a, b Val) Val {
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	if (a.k == kAbs || a.k == kFrame) && a.k == b.k {
+		lt := a.hi < b.lo  // always a < b
+		ge := a.lo >= b.hi // never a < b
+		le := a.hi <= b.lo
+		gt := a.lo > b.hi
+		eq := a.lo == a.hi && b.lo == b.hi && a.lo == b.lo
+		ne := a.hi < b.lo || b.hi < a.lo
+		fold := func(yes, no bool) Val {
+			switch {
+			case yes:
+				return cst(1)
+			case no:
+				return cst(0)
+			}
+			return mk(kAbs, 0, 1)
+		}
+		switch op {
+		case isa.OpCEQ:
+			return fold(eq, ne)
+		case isa.OpCNE:
+			return fold(ne, eq)
+		case isa.OpCLT:
+			return fold(lt, ge)
+		case isa.OpCLE:
+			return fold(le, gt)
+		case isa.OpCGT:
+			return fold(gt, le)
+		case isa.OpCGE:
+			return fold(ge, lt)
+		}
+	}
+	return mk(kAbs, 0, 1)
+}
+
+func aluVal(op isa.Op, a, b Val) Val {
+	switch op {
+	case isa.OpADD:
+		return vAdd(a, b)
+	case isa.OpSUB:
+		return vSub(a, b)
+	case isa.OpMUL:
+		return vMul(a, b)
+	case isa.OpDIV:
+		return vDiv(a, b)
+	case isa.OpMOD:
+		return vMod(a, b)
+	case isa.OpAND:
+		return vAnd(a, b)
+	case isa.OpSHL:
+		return vShl(a, b)
+	case isa.OpSHR:
+		return vShr(a, b)
+	case isa.OpCEQ, isa.OpCNE, isa.OpCLT, isa.OpCLE, isa.OpCGT, isa.OpCGE:
+		return cmpVal(op, a, b)
+	}
+	if a.k == kBot || b.k == kBot {
+		return bottom()
+	}
+	return top() // OR, XOR: untracked
+}

@@ -117,8 +117,10 @@ func (m *Machine) trySuperstep() {
 			}
 			// A block decision from a previous window is stale — the
 			// register file may have changed at the intervening kernel
-			// entry — so force a fresh one at this core's first block.
+			// entry — so force a fresh one at this core's first block and
+			// drop any leftover merge budget with it.
 			c.fastLeft = 0
+			c.fastMerge = 0
 			active = append(active, c)
 			continue
 		}
@@ -212,6 +214,16 @@ func (m *Machine) trySuperstep() {
 	m.fastWindows++
 }
 
+// fastMergeRun is the checked-block merge budget: after a fresh block-edge
+// decision lands on checked, this many subsequent block edges in the same
+// window inherit the decision instead of re-scanning the register file.
+// Overlapping-footprint runs (tight loops over a watched array, call chains
+// into watched frames) thus pay one decision per fastMergeRun+1 blocks.
+// Inheriting checked is always sound — checked mode pre-checks every access
+// exactly — so the only cost of a stale inheritance is per-access checks on
+// a block that a fresh decision would have retired unchecked.
+const fastMergeRun = 4
+
 // stepFastBlock retires one instruction of core c's thread in the
 // multi-core lockstep, re-deciding checked/unchecked execution whenever the
 // core crosses a basic-block edge (fastLeft counts the instructions still
@@ -225,13 +237,23 @@ func (m *Machine) stepFastBlock(c *Core) bool {
 			return false
 		}
 		c.fastLeft = m.blockLen[pc]
-		c.fastChecked = m.blockChecked(c, t, pc)
+		if c.fastMerge > 0 {
+			c.fastMerge--
+			c.fastChecked = true
+			m.demotions.CheckedOverlap++
+		} else {
+			c.fastChecked = m.blockChecked(c, t, pc)
+			if c.fastChecked {
+				c.fastMerge = fastMergeRun
+			}
+		}
 		if m.segRecording() {
 			m.segBlockFootprint(t, pc)
 		}
 	}
 	if !m.execFast(c, t, c.fastChecked) {
 		c.fastLeft = 0
+		c.fastMerge = 0
 		return false
 	}
 	c.fastLeft--
@@ -246,6 +268,7 @@ func (m *Machine) stepFastBlock(c *Core) bool {
 func (m *Machine) runFastSingle(c *Core, n uint64) uint64 {
 	t := c.Cur
 	var done uint64
+	var merge uint8 // window-local checked-block merge budget
 	for done < n {
 		pc := t.PC
 		if int(pc) >= len(m.blockLen) {
@@ -255,7 +278,17 @@ func (m *Machine) runFastSingle(c *Core, n uint64) uint64 {
 		if chunk == 0 {
 			return done
 		}
-		checked := m.blockChecked(c, t, pc)
+		var checked bool
+		if merge > 0 {
+			merge--
+			checked = true
+			m.demotions.CheckedOverlap++
+		} else {
+			checked = m.blockChecked(c, t, pc)
+			if checked {
+				merge = fastMergeRun
+			}
+		}
 		if m.segRecording() {
 			m.segBlockFootprint(t, pc)
 		}
@@ -295,33 +328,42 @@ func (m *Machine) blockChecked(c *Core, t *Thread, pc uint32) bool {
 		}
 		return false
 	}
-	if f.AbsHi > f.AbsLo && c.WP.MayMatchRange(t.ID, f.AbsLo, f.AbsHi) {
-		m.demotions.ArmedOverlap++
-		return true
+	// Assemble the footprint's components — absolute plus the SP/FP
+	// intervals evaluated against the live registers — and test them against
+	// the register file in one scan. A register-relative interval that
+	// leaves [0, 2^32) after evaluation is answered conservatively (the
+	// block's accesses would wrap or fault; the checked path sorts it out
+	// exactly).
+	var ranges [3]hw.AddrRange
+	n := 0
+	if f.AbsHi > f.AbsLo {
+		ranges[n] = hw.AddrRange{Lo: f.AbsLo, Hi: f.AbsHi}
+		n++
 	}
-	if f.SPHi > f.SPLo && m.regRangeMayMatch(c, t, t.Regs[isa.RegSP], f.SPLo, f.SPHi) {
-		m.demotions.ArmedOverlap++
-		return true
+	for _, rr := range [2]struct {
+		base   int64
+		lo, hi int64
+	}{
+		{t.Regs[isa.RegSP], f.SPLo, f.SPHi},
+		{t.Regs[isa.RegFP], f.FPLo, f.FPHi},
+	} {
+		if rr.hi <= rr.lo {
+			continue
+		}
+		lo64 := int64(uint32(rr.base)) + rr.lo
+		hi64 := int64(uint32(rr.base)) + rr.hi
+		if lo64 < 0 || hi64 > int64(^uint32(0)) {
+			m.demotions.ArmedOverlap++
+			return true
+		}
+		ranges[n] = hw.AddrRange{Lo: uint32(lo64), Hi: uint32(hi64)}
+		n++
 	}
-	if f.FPHi > f.FPLo && m.regRangeMayMatch(c, t, t.Regs[isa.RegFP], f.FPLo, f.FPHi) {
+	if n > 0 && c.WP.MayMatchRanges(t.ID, ranges[:n]) {
 		m.demotions.ArmedOverlap++
 		return true
 	}
 	return false
-}
-
-// regRangeMayMatch evaluates a register-relative footprint interval
-// against the live base register and tests it against core c's armed
-// registers. An interval that leaves [0, 2^32) after evaluation is
-// reported as a possible match (the block's accesses would wrap or fault;
-// the checked path sorts it out exactly).
-func (m *Machine) regRangeMayMatch(c *Core, t *Thread, base int64, lo, hi int64) bool {
-	lo64 := int64(uint32(base)) + lo
-	hi64 := int64(uint32(base)) + hi
-	if lo64 < 0 || hi64 > int64(^uint32(0)) {
-		return true
-	}
-	return c.WP.MayMatchRange(t.ID, uint32(lo64), uint32(hi64))
 }
 
 // wouldTrap is the checked-mode access pre-check: it reports whether the

@@ -464,3 +464,118 @@ void main() {
 		t.Fatal("no instruction starts found")
 	}
 }
+
+// The bounded-index regression: a static-bound loop over a fixed array is
+// exactly the shape the value-range analysis must bound, so under
+// prevention with armed watchpoints its blocks are checked (or clean) but
+// never demoted as Unbounded.
+func TestFastPathBoundedIndexNoUnbounded(t *testing.T) {
+	src := `
+int arr[8];
+int lk;
+int done;
+void worker(int id) {
+    int aj;
+    lock(lk);
+    aj = 0;
+    while (aj < 8) {
+        arr[aj] = arr[aj] + id;
+        aj = aj + 1;
+    }
+    unlock(lk);
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(worker, 1);
+    spawn(worker, 2);
+    worker(3);
+    while (done < 3) {
+        yield();
+    }
+    print(arr[0] + arr[7]);
+}`
+	o := defaultRunOpts()
+	o.kcfg.Opt = kernel.OptOptimized
+	o.kcfg.NumWatchpoints = 16
+	o.mcfg.MaxTicks = 50_000_000
+	_, res := runDispatch(t, src, o, DispatchFast)
+	if res.Reason != "completed" {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+	if res.Stats.Begins == 0 {
+		t.Fatal("no atomic regions began; the bounded-index shape was not exercised under prevention")
+	}
+	if res.Demotions.Unbounded != 0 {
+		t.Errorf("Demotions.Unbounded = %d on a bounded-index program, want 0 (demotions: %+v)",
+			res.Demotions.Unbounded, res.Demotions)
+	}
+}
+
+// Merge-budget behavior: once a block runs checked, the next blocks of the
+// same window inherit the decision (CheckedOverlap) instead of re-scanning
+// the register file, and the inherited blocks still retire on the fast
+// path.
+func TestFastPathCheckedOverlapMerge(t *testing.T) {
+	src := `
+int s1;
+int arr[4];
+int lk;
+int done;
+void watcher(int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        s1 = s1 + 1;
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void scanner(int cap) {
+    int i;
+    int idx;
+    int t;
+    i = 0;
+    while (i < 30000) {
+        idx = i % cap;
+        t = arr[idx];
+        arr[idx] = t + 1;
+        if (idx > i) {
+            t = 0;
+        }
+        i = i + 1;
+    }
+    lock(lk);
+    done = done + 1;
+    unlock(lk);
+}
+void main() {
+    spawn(watcher, 3000);
+    spawn(scanner, 4);
+    while (done < 2) {
+        yield();
+    }
+    print(s1 + arr[0]);
+}`
+	o := defaultRunOpts()
+	o.kcfg.Opt = kernel.OptOptimized
+	o.kcfg.NumWatchpoints = 16
+	o.mcfg.MaxTicks = 50_000_000
+	_, res := runDispatch(t, src, o, DispatchFast)
+	if res.Reason != "completed" {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+	if res.Stats.Begins == 0 {
+		t.Fatal("no atomic regions began; checked dispatch was not exercised")
+	}
+	d := res.Demotions
+	if d.Unbounded == 0 && d.ArmedOverlap == 0 {
+		t.Fatalf("no checked blocks at all (demotions: %+v); the merge path was not exercised", d)
+	}
+	if d.CheckedOverlap == 0 {
+		t.Errorf("Demotions.CheckedOverlap = 0, want > 0: consecutive blocks after a checked one should inherit through the merge budget (demotions: %+v)", d)
+	}
+}

@@ -149,11 +149,15 @@ type Core struct {
 
 	// Watchpoint-aware fast path scratch: fastLeft counts the instructions
 	// still covered by the core's current block-edge decision, fastChecked
-	// is that decision (per-access checks required). trySuperstep zeroes
-	// fastLeft at window admission, since the register file may have
-	// changed at a kernel entry between windows.
+	// is that decision (per-access checks required), and fastMerge is the
+	// checked-block merge budget — block edges that inherit the previous
+	// checked decision without a fresh register-file scan (counted as
+	// Demotions.CheckedOverlap). trySuperstep zeroes fastLeft and fastMerge
+	// at window admission, since the register file may have changed at a
+	// kernel entry between windows.
 	fastLeft    uint16
 	fastChecked bool
+	fastMerge   uint8
 }
 
 // eventKind discriminates pending timer events. All kernel- and
@@ -421,8 +425,14 @@ type Demotions struct {
 	// static footprint may overlap an armed register.
 	ArmedOverlap uint64 `json:"armed_overlap"`
 	// Unbounded: basic blocks executed in checked mode because their
-	// footprint is unbounded (indirect/pointer access, untracked SP/FP).
+	// footprint is unbounded (indirect/pointer access the value-range
+	// analysis could not bound, untracked SP/FP).
 	Unbounded uint64 `json:"unbounded"`
+	// CheckedOverlap: basic blocks that inherited the previous block's
+	// checked decision through the merge budget instead of re-scanning the
+	// register file — overlapping-footprint runs amortizing the per-block
+	// decision.
+	CheckedOverlap uint64 `json:"checked_overlap"`
 	// TimerEdge: superstep windows refused because a timer interrupt or
 	// event was already due at window start.
 	TimerEdge uint64 `json:"timer_edge"`

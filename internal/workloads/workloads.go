@@ -583,6 +583,85 @@ void main() {
 	}
 }
 
+// ArrayScan is the array-indexing workload behind the value-range
+// footprint work: its hot loop updates shared tables exclusively through
+// dynamic indices the analysis can bound — a sign-folded modulo result and
+// a static-bound sweep — while unprotected checksum regions keep
+// watchpoints armed. Under the legacy syntactic footprint pass every one of
+// those blocks demoted via Unbounded; with value-range footprints
+// prevention mode must keep them on the unchecked fast path
+// (Demotions.Unbounded == 0).
+func ArrayScan(s Scale) *Spec {
+	n := iters(s, 200)
+	src := fmt.Sprintf(`
+int table[16];
+int acc[8];
+int checksum;
+int scans;
+int statlk;
+int done;
+%s
+void sweep(int id, int i) {
+    int v;
+    int k;
+    int j;
+    int h;
+    v = mixv(id * 512 + i);
+    k = v %% 8;
+    if (k < 0) {
+        k = 0 - k;
+    }
+    lock(statlk);
+    j = 0;
+    while (j < 16) {
+        table[j] = table[j] + v %% 5;
+        j = j + 1;
+    }
+    acc[k] = acc[k] + 1;
+    unlock(statlk);
+    if (i %% 4 == 0) {
+        h = checksum;
+        h = h + mixv(v) %% 2;
+        checksum = h + 1;
+    }
+    if (i %% 9 == 2) {
+        scans = scans + 1;
+    }
+}
+
+void worker(int id) {
+    int i;
+    i = 0;
+    while (i < %d) {
+        sweep(id, i);
+        i = i + 1;
+    }
+    lock(statlk);
+    done = done + 1;
+    unlock(statlk);
+}
+
+void main() {
+    spawn(worker, 1);
+    spawn(worker, 2);
+    spawn(worker, 3);
+    worker(0);
+%s}
+`, computeFn("mixv", 260), n, waitBlock(4))
+	return &Spec{
+		Name:        "ArrayScan",
+		Description: "Swept shared tables through bounded dynamic indices (value-range footprint workload)",
+		Source:      src,
+		FlagVars:    []string{"done"},
+	}
+}
+
+// BenchSuite is the bench harness's application set: the five paper
+// analogs plus the ArrayScan footprint workload.
+func BenchSuite(s Scale) []*Spec {
+	return append(PerfSuite(s), ArrayScan(s))
+}
+
 // Names lists the perf suite application names in paper order.
 func Names() []string {
 	return []string{"NSS", "VLC", "Webstone", "TPC-W", "SPEC OMP"}
@@ -590,7 +669,7 @@ func Names() []string {
 
 // ByName returns the named spec at the given scale.
 func ByName(name string, s Scale) (*Spec, error) {
-	for _, spec := range PerfSuite(s) {
+	for _, spec := range BenchSuite(s) {
 		if strings.EqualFold(spec.Name, name) {
 			return spec, nil
 		}
