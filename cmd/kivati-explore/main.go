@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -61,6 +63,13 @@ type report struct {
 	Restores        int     `json:"restores"`
 	Resumed         int     `json:"resumed,omitempty"`
 	Pruned          int     `json:"pruned,omitempty"`
+	// Decision-point cost accounting aggregated over subjects and modes
+	// (see harness.ExploreBenchReport for the column semantics).
+	Decisions         uint64  `json:"decisions"`
+	NsPerDecision     float64 `json:"ns_per_decision"`
+	SamePickContinues uint64  `json:"same_pick_continues"`
+	DeltaArms         uint64  `json:"delta_arms"`
+	FullArms          uint64  `json:"full_arms"`
 }
 
 func main() {
@@ -85,7 +94,28 @@ func main() {
 	benchOut := flag.String("bench-out", "", "run the corpus engine-throughput sweep and write BENCH_explore.json-style output to this file")
 	benchBaseline := flag.String("bench-baseline", "", "compare the engine-throughput sweep against this baseline JSON file")
 	benchGate := flag.Bool("bench-gate", false, "with -bench-baseline: exit nonzero on verdict drift or an aggregate speedup under the floor")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
 
 	if *replay != "" {
 		runReplay(*replay, *jsonOut)
@@ -140,7 +170,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "kivati-explore/v1",
+		Schema:    "kivati-explore/v2",
 		Strategy:  opts.Strategy,
 		Engine:    opts.Engine,
 		DPOR:      *dpor,
@@ -179,6 +209,14 @@ func main() {
 			rep.Resumed += st.Resumed
 			rep.Pruned += st.Pruned
 		}
+		for _, mr := range []*explore.Report{d.Vanilla, d.Prevention} {
+			for _, r := range mr.Runs {
+				rep.Decisions += uint64(r.Decisions)
+				rep.SamePickContinues += r.SamePickContinues
+				rep.DeltaArms += r.DeltaArms
+				rep.FullArms += r.FullArms
+			}
+		}
 		if *traceDir != "" {
 			check(os.MkdirAll(*traceDir, 0o755))
 			check(writeTraces(*traceDir, s, explore.Vanilla, opts, d.Vanilla, *jsonOut))
@@ -188,6 +226,9 @@ func main() {
 	rep.TotalSeconds = time.Since(start).Seconds()
 	if rep.TotalSeconds > 0 {
 		rep.SchedulesPerSec = float64(len(subjects)*2**n) / rep.TotalSeconds
+	}
+	if rep.Decisions > 0 {
+		rep.NsPerDecision = rep.TotalSeconds * 1e9 / float64(rep.Decisions)
 	}
 
 	if *jsonOut {

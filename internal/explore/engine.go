@@ -49,6 +49,11 @@ import (
 // reports modulo the engine metadata fields; TestEngineEquivalence holds
 // them together.
 
+// rngPool recycles policy rng sources across schedules: each schedule's
+// stream is fully determined by Seed, so a re-seeded pooled source is
+// indistinguishable from a fresh one.
+var rngPool = sync.Pool{New: func() interface{} { return rand.New(rand.NewSource(0)) }}
+
 // Engine selects the execution machinery behind a campaign.
 type Engine string
 
@@ -253,8 +258,12 @@ func (c *campaign) exploreRandomSessions(mode Mode, stats *EngineStats) ([]Run, 
 		k := k
 		seed := c.opts.Seed + int64(k)
 		jobs[k] = func(s *core.Session) (Run, error) {
-			policy := randomPolicy{rng: rand.New(rand.NewSource(seed))}
-			r, err := c.sessionRun(s, mode, policy, c.randomQuantum(seed), seed)
+			// Re-seeding a pooled source yields the identical stream to a
+			// fresh rand.NewSource(seed) without the per-schedule allocation.
+			rng := rngPool.Get().(*rand.Rand)
+			rng.Seed(seed)
+			r, err := c.sessionRun(s, mode, randomPolicy{rng: rng}, c.randomQuantum(seed), seed)
+			rngPool.Put(rng)
 			r.Index = k
 			return r, err
 		}

@@ -22,11 +22,20 @@ func subjectByName(t *testing.T, app, id string) *Subject {
 }
 
 // scrubEngineMeta clears the fields that legitimately differ between
-// engines, leaving everything the oracle cares about.
+// engines, leaving everything the oracle cares about. The per-run
+// decision-cost telemetry (same-pick continues, delta/full arms) depends
+// on the dispatch tier — the replay engine pins DispatchStep, which never
+// opens a superstep window and re-arms on every crossing — so it is
+// engine metadata, not oracle output.
 func scrubEngineMeta(d *DiffReport) {
 	for _, r := range []*Report{d.Vanilla, d.Prevention} {
 		r.Engine = ""
 		r.Stats = nil
+		for i := range r.Runs {
+			r.Runs[i].SamePickContinues = 0
+			r.Runs[i].DeltaArms = 0
+			r.Runs[i].FullArms = 0
+		}
 	}
 }
 

@@ -166,6 +166,14 @@ type Run struct {
 	Prevented  int              `json:"prevented"`
 	Ticks      uint64           `json:"ticks"`
 	Reason     string           `json:"reason"`
+	// Decision-point cost accounting (see vm.Result): kernel crossings the
+	// same-pick superstep continuation avoided, and how watchpoint arming
+	// at the crossings that did happen split between incremental delta
+	// application and full register-file rewrites. Zero on the replay
+	// engine's step-pinned runs, which never open a superstep window.
+	SamePickContinues uint64 `json:"same_pick_continues,omitempty"`
+	DeltaArms         uint64 `json:"delta_arms,omitempty"`
+	FullArms          uint64 `json:"full_arms,omitempty"`
 }
 
 // Report is the outcome of exploring one subject in one mode.
@@ -276,13 +284,16 @@ func (c *campaign) classify(mode Mode, res *vm.Result, decisions int, quantum ui
 			c.subject.Name, mode, res.Reason, res.Ticks)
 	}
 	r := Run{
-		Seed:      seed,
-		Quantum:   quantum,
-		Decisions: decisions,
-		Snapshot:  res.Snapshot,
-		Diverged:  !snapshotsEqual(res.Snapshot, c.serial),
-		Ticks:     res.Ticks,
-		Reason:    res.Reason,
+		Seed:              seed,
+		Quantum:           quantum,
+		Decisions:         decisions,
+		Snapshot:          res.Snapshot,
+		Diverged:          !snapshotsEqual(res.Snapshot, c.serial),
+		Ticks:             res.Ticks,
+		Reason:            res.Reason,
+		SamePickContinues: res.SamePickContinues,
+		DeltaArms:         res.DeltaArms,
+		FullArms:          res.FullArms,
 	}
 	for _, v := range res.Violations {
 		r.Violations++

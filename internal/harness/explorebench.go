@@ -13,8 +13,11 @@ import (
 
 // ExploreBenchSchema versions the BENCH_explore.json format: the
 // schedule-exploration throughput sweep over the 11-bug corpus, comparing
-// the snapshot engine against the legacy replay (Step-pinned) engine.
-const ExploreBenchSchema = "kivati-explore/v1"
+// the snapshot engine against the legacy replay (Step-pinned) engine. v2
+// added the aggregate decision-point cost columns (decisions, ns/decision,
+// same-pick continues, delta-arm vs full-arm split) for the snapshot
+// engine's sweep.
+const ExploreBenchSchema = "kivati-explore/v2"
 
 // ExploreBenchRow is one corpus bug's differential sweep, run on both
 // engines. The divergence counts are deterministic (virtual clock) and
@@ -55,6 +58,18 @@ type ExploreBenchReport struct {
 	SchedulesPerSec         float64 `json:"schedules_per_sec"`
 	BaselineSchedulesPerSec float64 `json:"baseline_schedules_per_sec"`
 	SpeedupX                float64 `json:"speedup_x"`
+	// Decision-point cost accounting, aggregated over the snapshot
+	// engine's sweep (both modes, all bugs). Decisions counts scheduler
+	// decision points; NsPerDecision is snapshot-engine wall-clock per
+	// decision; SamePickContinues counts the kernel crossings the
+	// same-pick superstep continuation avoided; DeltaArms/FullArms split
+	// the watchpoint re-arms at real crossings into incremental delta
+	// applications vs full register-file rewrites.
+	Decisions         uint64  `json:"decisions"`
+	NsPerDecision     float64 `json:"ns_per_decision"`
+	SamePickContinues uint64  `json:"same_pick_continues"`
+	DeltaArms         uint64  `json:"delta_arms"`
+	FullArms          uint64  `json:"full_arms"`
 }
 
 // RunExploreBench sweeps the corpus with the given exploration options on
@@ -127,6 +142,14 @@ func RunExploreBench(opts explore.Options) (*ExploreBenchReport, error) {
 			row.Resumed += st.Resumed
 			row.Pruned += st.Pruned
 		}
+		for _, mr := range []*explore.Report{cur.Vanilla, cur.Prevention} {
+			for _, run := range mr.Runs {
+				rep.Decisions += uint64(run.Decisions)
+				rep.SamePickContinues += run.SamePickContinues
+				rep.DeltaArms += run.DeltaArms
+				rep.FullArms += run.FullArms
+			}
+		}
 		rep.Rows = append(rep.Rows, row)
 		rep.TotalSeconds += secs
 		rep.BaselineSeconds += baseSecs
@@ -134,6 +157,9 @@ func RunExploreBench(opts explore.Options) (*ExploreBenchReport, error) {
 	sched := float64(len(rep.Rows) * 2 * opts.Schedules)
 	if rep.TotalSeconds > 0 {
 		rep.SchedulesPerSec = sched / rep.TotalSeconds
+	}
+	if rep.Decisions > 0 {
+		rep.NsPerDecision = rep.TotalSeconds * 1e9 / float64(rep.Decisions)
 	}
 	if rep.BaselineSeconds > 0 {
 		rep.BaselineSchedulesPerSec = sched / rep.BaselineSeconds
@@ -159,6 +185,10 @@ func (r *ExploreBenchReport) String() string {
 	}
 	fmt.Fprintf(&b, "total: %.1f sched/s vs %.1f sched/s baseline = %.1fx\n",
 		r.SchedulesPerSec, r.BaselineSchedulesPerSec, r.SpeedupX)
+	if r.Decisions > 0 {
+		fmt.Fprintf(&b, "decisions: %d at %.0f ns each; %d crossings avoided (same-pick), arms %d delta / %d full\n",
+			r.Decisions, r.NsPerDecision, r.SamePickContinues, r.DeltaArms, r.FullArms)
+	}
 	return b.String()
 }
 
@@ -192,6 +222,15 @@ func ReadExploreBench(path string) (*ExploreBenchReport, error) {
 // below the measured speedup so host noise cannot fail a healthy build
 // while a change that forfeits the engine's advantage still does.
 const ExploreBenchGateMinSpeedup = 2.0
+
+// ExploreBenchGateMinSchedRatio is the floor on current schedules/sec
+// relative to the baseline's recorded schedules/sec. The baseline number
+// comes from a different host, so the floor must absorb the full spread
+// between a dev box and a loaded CI runner; 0.25 catches an
+// order-of-magnitude throughput collapse (a demoted fast path, an
+// accidental per-schedule rebuild) without flaking on slow runners. The
+// same-runner SpeedupX floor above is the tight relative gate.
+const ExploreBenchGateMinSchedRatio = 0.25
 
 // GateExploreBench is the enforcing regression check. Deterministic
 // columns gate hard: the current sweep must report exactly the baseline's
@@ -229,6 +268,12 @@ func GateExploreBench(baseline, current *ExploreBenchReport) error {
 	if current.SpeedupX < ExploreBenchGateMinSpeedup {
 		fails = append(fails, fmt.Sprintf("aggregate speedup %.2fx under the %.1fx floor",
 			current.SpeedupX, ExploreBenchGateMinSpeedup))
+	}
+	if baseline.SchedulesPerSec > 0 &&
+		current.SchedulesPerSec < ExploreBenchGateMinSchedRatio*baseline.SchedulesPerSec {
+		fails = append(fails, fmt.Sprintf(
+			"snapshot engine %.1f schedules/sec under %.0f%% of the baseline's %.1f",
+			current.SchedulesPerSec, 100*ExploreBenchGateMinSchedRatio, baseline.SchedulesPerSec))
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("explorebench gate:\n  %s", strings.Join(fails, "\n  "))

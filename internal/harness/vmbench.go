@@ -16,8 +16,10 @@ import (
 // VMBenchSchema versions the BENCH_vm.json format. v2 added the per-row
 // demotion-reason counters; v3 split the unbounded counter into unbounded
 // vs checked_overlap (merge-inherited checked blocks) and added the
-// ArrayScan workload row.
-const VMBenchSchema = "kivati-bench-vm/v3"
+// ArrayScan workload row; v4 added the decision-point cost columns
+// (decisions, ns/decision, same-pick continues, delta-arm vs full-arm
+// split) and dropped zero-valued demotion counters from the JSON.
+const VMBenchSchema = "kivati-bench-vm/v4"
 
 // VMBenchRow is one workload × configuration interpreter measurement.
 // Instructions, KernelCrossings, Ticks and Demotions are deterministic
@@ -32,9 +34,21 @@ type VMBenchRow struct {
 	FastResidencyPct float64 `json:"fast_residency_pct"`
 	KernelCrossings  uint64  `json:"kernel_crossings"`
 	Ticks            uint64  `json:"ticks"`
+	// Decision-point cost accounting. Decisions is deterministic (virtual
+	// clock); NsPerDecision is wall-clock. SamePickContinues counts the
+	// kernel crossings the same-pick superstep continuation avoided;
+	// DeltaArms/FullArms split the watchpoint re-arms at real crossings
+	// into incremental delta applications vs full register-file rewrites.
+	Decisions         uint64  `json:"decisions,omitempty"`
+	NsPerDecision     float64 `json:"ns_per_decision,omitempty"`
+	SamePickContinues uint64  `json:"same_pick_continues,omitempty"`
+	DeltaArms         uint64  `json:"delta_arms,omitempty"`
+	FullArms          uint64  `json:"full_arms,omitempty"`
 	// Demotions breaks down why instructions left (or never reached) the
 	// unchecked fast path, making a residency regression diagnosable from
-	// the row alone.
+	// the row alone. Counters at zero are omitted from the JSON; in
+	// particular a vanilla row serializes an empty object here, matching
+	// its kernel_crossings: 0 invariant (see DESIGN.md).
 	Demotions vm.Demotions `json:"demotions"`
 }
 
@@ -88,17 +102,24 @@ func RunVMBench(o Options) (*VMBenchReport, error) {
 				}
 			}
 			row := VMBenchRow{
-				Workload:        spec.Name,
-				Config:          cc.name,
-				Instructions:    res.Stats.Instructions,
-				Seconds:         secs,
-				MInstrPerSec:    float64(res.Stats.Instructions) / secs / 1e6,
-				KernelCrossings: res.Stats.KernelEntries(),
-				Ticks:           res.Ticks,
-				Demotions:       res.Demotions,
+				Workload:          spec.Name,
+				Config:            cc.name,
+				Instructions:      res.Stats.Instructions,
+				Seconds:           secs,
+				MInstrPerSec:      float64(res.Stats.Instructions) / secs / 1e6,
+				KernelCrossings:   res.Stats.KernelEntries(),
+				Ticks:             res.Ticks,
+				Decisions:         res.Decisions,
+				SamePickContinues: res.SamePickContinues,
+				DeltaArms:         res.DeltaArms,
+				FullArms:          res.FullArms,
+				Demotions:         res.Demotions,
 			}
 			if res.Stats.Instructions > 0 {
 				row.FastResidencyPct = 100 * float64(res.FastInstructions) / float64(res.Stats.Instructions)
+			}
+			if res.Decisions > 0 {
+				row.NsPerDecision = secs * 1e9 / float64(res.Decisions)
 			}
 			rep.Rows = append(rep.Rows, row)
 		}
@@ -109,14 +130,16 @@ func RunVMBench(o Options) (*VMBenchReport, error) {
 func (r *VMBenchReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "VM interpreter throughput (%s)\n", r.Schema)
-	fmt.Fprintf(&b, "%-10s %-22s %12s %9s %10s %8s %10s  %s\n",
+	fmt.Fprintf(&b, "%-10s %-22s %12s %9s %10s %8s %10s %9s %7s %11s  %s\n",
 		"Workload", "Config", "Instr", "Minstr/s", "FastRes%", "Kernel", "Ticks",
+		"Decisions", "ns/dec", "arms(d/f)",
 		"Demotions(overlap/unbounded/merged/timer/trap)")
 	for _, row := range r.Rows {
 		d := row.Demotions
-		fmt.Fprintf(&b, "%-10s %-22s %12d %9.2f %10.1f %8d %10d  %d/%d/%d/%d/%d\n",
+		fmt.Fprintf(&b, "%-10s %-22s %12d %9.2f %10.1f %8d %10d %9d %7.0f %5d/%-5d  %d/%d/%d/%d/%d\n",
 			row.Workload, row.Config, row.Instructions, row.MInstrPerSec,
 			row.FastResidencyPct, row.KernelCrossings, row.Ticks,
+			row.Decisions, row.NsPerDecision, row.DeltaArms, row.FullArms,
 			d.ArmedOverlap, d.Unbounded, d.CheckedOverlap, d.TimerEdge, d.WouldTrap)
 	}
 	return b.String()

@@ -74,11 +74,20 @@ type RegisterFile struct {
 
 	armed  int    // number of armed registers (summary)
 	lo, hi uint32 // armed address window [lo, hi); valid only when armed > 0
+
+	// Delta-arming bookkeeping. muts counts content mutations of this file;
+	// gens[i] records the mutation count at which register i last changed.
+	// adopted is the source file's muts value at the last CopyFrom/AdoptDelta,
+	// letting a core apply only the registers that changed since it last
+	// synchronized instead of recopying the whole table.
+	gens    []uint64
+	muts    uint64
+	adopted uint64
 }
 
 // NewRegisterFile returns a register file with n watchpoints.
 func NewRegisterFile(n int) *RegisterFile {
-	return &RegisterFile{WPs: make([]Watchpoint, n)}
+	return &RegisterFile{WPs: make([]Watchpoint, n), gens: make([]uint64, n)}
 }
 
 // recompute rebuilds the armed summary from the registers: the slow path
@@ -123,6 +132,11 @@ func (rf *RegisterFile) Set(i int, wp Watchpoint) {
 		panic(fmt.Sprintf("hw: invalid watchpoint size %d", wp.Size))
 	}
 	old := rf.WPs[i]
+	if wp == old {
+		return
+	}
+	rf.muts++
+	rf.gens[i] = rf.muts
 	rf.WPs[i] = wp
 	if old.Armed {
 		if old.Addr == rf.lo || old.Addr+uint32(old.Size) == rf.hi {
@@ -154,16 +168,87 @@ func (rf *RegisterFile) Clear(i int) {
 	rf.Set(i, Watchpoint{Owner: -1, LocalOf: -1})
 }
 
-// CopyFrom adopts the canonical register state (cross-core propagation; the
-// paper's opportunistic update on kernel entry).
+// CopyFrom adopts the canonical register state wholesale (cross-core
+// propagation; the paper's opportunistic update on kernel entry). It is the
+// full-table slow path behind AdoptDelta and also the exact-clone primitive
+// used by snapshots: generation stamps and the mutation count come along, so
+// a clone is indistinguishable from its source to later delta adoptions.
 func (rf *RegisterFile) CopyFrom(src *RegisterFile) {
 	copy(rf.WPs, src.WPs)
+	copy(rf.gens, src.gens)
 	rf.Epoch = src.Epoch
 	rf.armed, rf.lo, rf.hi = src.armed, src.lo, src.hi
+	rf.muts = src.muts
+	rf.adopted = src.muts
 }
+
+// AdoptDelta brings rf up to date with src by applying only the registers
+// whose generation stamp postdates rf's last adoption — the symmetric
+// difference between the two tables, since unchanged registers are already
+// identical. It returns how many registers were written and whether the
+// full-copy slow path ran (taken when every register may have changed, where
+// a bulk copy is cheaper than the stamped scan). Callers must synchronize rf
+// exclusively through CopyFrom/AdoptDelta from the same source for the
+// adoption cursor to be meaningful.
+func (rf *RegisterFile) AdoptDelta(src *RegisterFile) (changed int, full bool) {
+	if rf.adopted == src.muts {
+		rf.Epoch = src.Epoch
+		return 0, false
+	}
+	if src.muts-rf.adopted >= uint64(len(rf.WPs)) {
+		rf.CopyFrom(src)
+		return len(rf.WPs), true
+	}
+	cursor := rf.adopted
+	for i := range src.WPs {
+		if src.gens[i] > cursor {
+			rf.Set(i, src.WPs[i])
+			rf.gens[i] = src.gens[i]
+			changed++
+		}
+	}
+	rf.muts = src.muts
+	rf.adopted = src.muts
+	rf.Epoch = src.Epoch
+	return changed, false
+}
+
+// Muts returns the file's content-mutation count: it changes exactly when
+// register content changes, so equality of Muts values taken from the same
+// file lineage certifies identical register content.
+func (rf *RegisterFile) Muts() uint64 { return rf.muts }
 
 // ArmedCount returns the number of armed registers.
 func (rf *RegisterFile) ArmedCount() int { return rf.armed }
+
+// RelevantWindow summarizes the registers that can trap thread tid: the
+// count of armed registers whose LocalOf is not tid, and the address window
+// [lo, hi) they cover (meaningful only when n > 0). It is the per-thread
+// refinement of the armed summary that the VM's block-edge decision caches.
+func (rf *RegisterFile) RelevantWindow(tid int) (n int, lo, hi uint32) {
+	if rf.armed == 0 {
+		return 0, 0, 0
+	}
+	for i := range rf.WPs {
+		wp := &rf.WPs[i]
+		if !wp.Armed || wp.LocalOf == tid {
+			continue
+		}
+		end := wp.Addr + uint32(wp.Size)
+		if n == 0 {
+			lo, hi = wp.Addr, end
+		} else {
+			if wp.Addr < lo {
+				lo = wp.Addr
+			}
+			if end > hi {
+				hi = end
+			}
+		}
+		n++
+	}
+	return n, lo, hi
+}
 
 // Window returns the address window [lo, hi) covered by the armed registers.
 // ok is false when nothing is armed (the window is then meaningless).

@@ -542,3 +542,101 @@ func TestMayMatchRangesEquivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAdoptDeltaIncrementalProperty quick-checks delta-arming against the
+// from-scratch path: a canonical file takes a random Set/Clear sequence
+// while follower files synchronize at random points — one via AdoptDelta
+// (the incremental stamped scan), one via CopyFrom (the full rewrite).
+// After every synchronization the two followers must agree on register
+// content, generation-insensitive summary state (armed count and window),
+// and the mutation cursor; and the incremental armed summary must equal a
+// from-scratch recompute over the raw registers.
+func TestAdoptDeltaIncrementalProperty(t *testing.T) {
+	sizes := []uint8{1, 2, 4, 8}
+	summary := func(rf *RegisterFile) (int, uint32, uint32) {
+		armed := 0
+		var lo, hi uint32
+		for _, wp := range rf.WPs {
+			if !wp.Armed {
+				continue
+			}
+			end := wp.Addr + uint32(wp.Size)
+			if armed == 0 {
+				lo, hi = wp.Addr, end
+			} else {
+				if wp.Addr < lo {
+					lo = wp.Addr
+				}
+				if end > hi {
+					hi = end
+				}
+			}
+			armed++
+		}
+		return armed, lo, hi
+	}
+	f := func(ops []uint32) bool {
+		const n = 4
+		canon := NewRegisterFile(n)
+		delta := NewRegisterFile(n)
+		full := NewRegisterFile(n)
+		for _, op := range ops {
+			i := int(op>>2) % n
+			switch op % 4 {
+			case 0, 1:
+				canon.Set(i, Watchpoint{
+					Addr:    (op >> 8) & 0xffff,
+					Size:    sizes[(op>>24)%4],
+					Types:   AccessType(op>>26)%3 + 1,
+					Armed:   op&(1<<28) != 0,
+					Owner:   0,
+					LocalOf: -1,
+				})
+			case 2:
+				canon.Clear(i)
+			case 3:
+				delta.AdoptDelta(canon)
+				full.CopyFrom(canon)
+				for j := range delta.WPs {
+					if delta.WPs[j] != full.WPs[j] {
+						return false
+					}
+				}
+				if delta.Muts() != full.Muts() || delta.Epoch != full.Epoch {
+					return false
+				}
+				wantArmed, wantLo, wantHi := summary(delta)
+				if delta.ArmedCount() != wantArmed || full.ArmedCount() != wantArmed {
+					return false
+				}
+				if wantArmed > 0 {
+					dLo, dHi, ok := delta.Window()
+					fLo, fHi, fok := full.Window()
+					if !ok || !fok || dLo != wantLo || dHi != wantHi || fLo != wantLo || fHi != wantHi {
+						return false
+					}
+				}
+			}
+		}
+		// Final synchronization so every sequence checks at least once.
+		delta.AdoptDelta(canon)
+		full.CopyFrom(canon)
+		for j := range delta.WPs {
+			if delta.WPs[j] != full.WPs[j] {
+				return false
+			}
+		}
+		wantArmed, wantLo, wantHi := summary(canon)
+		cArmed, cLo, cHi := canon.ArmedCount(), uint32(0), uint32(0)
+		if lo, hi, ok := canon.Window(); ok {
+			cLo, cHi = lo, hi
+		}
+		if cArmed != wantArmed || (wantArmed > 0 && (cLo != wantLo || cHi != wantHi)) {
+			return false
+		}
+		return delta.ArmedCount() == wantArmed && full.ArmedCount() == wantArmed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -117,29 +117,78 @@ func (k *Kernel) Snapshot() *Snapshot {
 // Restore rewinds the kernel to a snapshot (deep copy back in; the
 // snapshot stays pristine and can be restored again). Canon, Meta entries
 // and Stats keep their identities — only their contents are replaced — so
-// references held by the VM and user library stay valid.
+// references held by the VM and user library stay valid. Existing maps and
+// slices are cleared and refilled rather than reallocated: the snapshot
+// engine restores thousands of times per campaign, and keeping capacity
+// also lets the post-restore run's AR attachments append without growing.
 func (k *Kernel) Restore(s *Snapshot) {
 	am := arMap{}
 	k.Canon.CopyFrom(s.canon)
-	metaPtrs := make([]*WPMeta, len(s.meta))
-	for i := range s.meta {
-		metaPtrs[i] = &s.meta[i]
-	}
-	fresh := cloneMeta(metaPtrs, am)
 	for i := range k.Meta {
-		*k.Meta[i] = fresh[i]
+		src := &s.meta[i]
+		dst := k.Meta[i]
+		ars, trap, begin := dst.ARs[:0], dst.TrapSuspended[:0], dst.BeginSuspended[:0]
+		*dst = *src
+		for _, ar := range src.ARs {
+			ars = append(ars, am.clone(ar))
+		}
+		dst.ARs = ars
+		dst.TrapSuspended = append(trap, src.TrapSuspended...)
+		dst.BeginSuspended = append(begin, src.BeginSuspended...)
 	}
-	k.threads = cloneThreads(s.threads, am)
-	k.mutexes = make(map[uint32]*mutex, len(s.mutexes))
+	for tid := range k.threads {
+		if _, ok := s.threads[tid]; !ok {
+			delete(k.threads, tid)
+		}
+	}
+	for tid, ts := range s.threads {
+		dst, ok := k.threads[tid]
+		if !ok {
+			dst = &threadState{TimedOut: make(map[int]*ActiveAR, len(ts.TimedOut))}
+			k.threads[tid] = dst
+		}
+		dst.ARs = dst.ARs[:0]
+		for _, ar := range ts.ARs {
+			dst.ARs = append(dst.ARs, am.clone(ar))
+		}
+		clear(dst.TimedOut)
+		for id, ar := range ts.TimedOut {
+			dst.TimedOut[id] = am.clone(ar)
+		}
+	}
+	for addr := range k.mutexes {
+		if _, ok := s.mutexes[addr]; !ok {
+			delete(k.mutexes, addr)
+		}
+	}
 	for addr, mu := range s.mutexes {
-		c := mu
-		c.waiters = append([]int(nil), mu.waiters...)
-		k.mutexes[addr] = &c
+		dst, ok := k.mutexes[addr]
+		if !ok {
+			dst = &mutex{}
+			k.mutexes[addr] = dst
+		}
+		w := dst.waiters[:0]
+		*dst = mu
+		dst.waiters = append(w, mu.waiters...)
 	}
 	k.begins = s.begins
-	k.beginRetries = make(map[[2]int]int, len(s.beginRetries))
+	clear(k.beginRetries)
 	for key, n := range s.beginRetries {
 		k.beginRetries[key] = n
 	}
-	*k.Stats = cloneStats(&s.stats)
+	missed := k.Stats.MissedByAR
+	*k.Stats = s.stats
+	if s.stats.MissedByAR != nil {
+		if missed == nil {
+			missed = make(map[int]uint64, len(s.stats.MissedByAR))
+		} else {
+			clear(missed)
+		}
+		for id, n := range s.stats.MissedByAR {
+			missed[id] = n
+		}
+		k.Stats.MissedByAR = missed
+	} else {
+		k.Stats.MissedByAR = nil
+	}
 }

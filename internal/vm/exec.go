@@ -37,7 +37,7 @@ func (m *Machine) rec(c *Core, t *Thread, addr uint32, sz uint8, typ hw.AccessTy
 		// with the PC still on it. No undo is ever needed.
 		if idx := c.WP.Match(t.ID, addr, sz, typ); idx >= 0 {
 			c.trapAborted = true
-			c.WP.CopyFrom(m.K.Canon)
+			m.adoptCanon(c)
 			m.checkEpochWaiters()
 			m.K.HandleTrapBefore(t.ID, t.PC, kernel.Access{Addr: addr, Size: sz, Type: typ}, idx)
 			return false
@@ -113,6 +113,12 @@ func alu(op isa.Op, a, b int64) (v int64, ok bool) {
 // cost, and delivers a watchpoint trap if a committed access matches the
 // core's debug registers (x86 trap-after semantics).
 func (m *Machine) step(c *Core) {
+	// A legacy step advances the thread outside the fast path's view, so any
+	// open block decision no longer describes the instructions at the
+	// thread's PC: drop it (the stamp alone cannot catch this — the register
+	// file may be unchanged while the PC moved).
+	c.fastLeft = 0
+	c.fastMerge = 0
 	t := c.Cur
 	in, ok := m.DecodeAt(t.PC)
 	if !ok {
@@ -301,7 +307,7 @@ func (m *Machine) finish(c *Core, t *Thread, cost uint64, accs []access) {
 			// watchpoint state, then the kernel handles the trap
 			// (possibly undoing the access and suspending the thread).
 			cost += m.cfg.Costs.Trap
-			c.WP.CopyFrom(m.K.Canon)
+			m.adoptCanon(c)
 			m.checkEpochWaiters()
 			if m.segRecording() {
 				// Trap handling mutates kernel state the access stream
@@ -351,7 +357,7 @@ func (m *Machine) syscall(c *Core, t *Thread, sysPC uint32, n int) uint64 {
 		m.seg.Global = true
 	}
 	enterKernel := func() {
-		c.WP.CopyFrom(m.K.Canon)
+		m.adoptCanon(c)
 		m.checkEpochWaiters()
 	}
 	costs := m.cfg.Costs

@@ -43,10 +43,12 @@ import (
 // covers (a superset of) the blockLen[pc] instructions dispatched from pc.
 func (m *Machine) buildBlockLen(starts []uint32) {
 	m.blockLen = make([]uint16, len(m.decoded))
+	m.execKind = make([]uint8, len(m.decoded))
 	const maxLen = ^uint16(0)
 	for i := len(starts) - 1; i >= 0; i-- {
 		pc := starts[i]
 		in := m.decoded[pc]
+		m.execKind[pc] = execKindOf(in.Op)
 		switch {
 		case in.Op.IsKernelBoundary():
 			// The legacy path must execute it.
@@ -64,6 +66,76 @@ func (m *Machine) buildBlockLen(starts []uint32) {
 			m.blockLen[pc] = n
 		}
 	}
+}
+
+// Fast-interpreter dispatch kinds: one dense small integer per instruction
+// form, precomputed at decode time, so execFast dispatches through a jump
+// table instead of re-classifying the opcode's ranges on every retirement.
+// ekNone marks everything the fast path must refuse — kernel boundaries,
+// non-starts, and ops only the legacy interpreter (which faults them)
+// handles.
+const (
+	ekNone uint8 = iota
+	ekNOP
+	ekMOVI
+	ekMOVR
+	ekALU
+	ekADDI
+	ekLD
+	ekST
+	ekLDR
+	ekSTR
+	ekPUSH
+	ekPOP
+	ekPUSHM
+	ekJMP
+	ekJZ
+	ekJNZ
+	ekCALL
+	ekCALLM
+	ekRET
+)
+
+func execKindOf(op isa.Op) uint8 {
+	switch {
+	case op == isa.OpNOP:
+		return ekNOP
+	case op == isa.OpMOVQ || op == isa.OpMOVL:
+		return ekMOVI
+	case op == isa.OpMOVR:
+		return ekMOVR
+	case op >= isa.OpADD && op <= isa.OpCGE:
+		return ekALU
+	case op == isa.OpADDI:
+		return ekADDI
+	case op >= isa.OpLD && op < isa.OpLD+4:
+		return ekLD
+	case op >= isa.OpST && op < isa.OpST+4:
+		return ekST
+	case op >= isa.OpLDR && op < isa.OpLDR+4:
+		return ekLDR
+	case op >= isa.OpSTR && op < isa.OpSTR+4:
+		return ekSTR
+	case op == isa.OpPUSH:
+		return ekPUSH
+	case op == isa.OpPOP:
+		return ekPOP
+	case op >= isa.OpPUSHM && op < isa.OpPUSHM+4:
+		return ekPUSHM
+	case op == isa.OpJMP:
+		return ekJMP
+	case op == isa.OpJZ:
+		return ekJZ
+	case op == isa.OpJNZ:
+		return ekJNZ
+	case op == isa.OpCALL:
+		return ekCALL
+	case op == isa.OpCALLM:
+		return ekCALLM
+	case op == isa.OpRET:
+		return ekRET
+	}
+	return ekNone
 }
 
 // trySuperstep retires one superstep window if the machine state admits
@@ -115,12 +187,11 @@ func (m *Machine) trySuperstep() {
 			if c.NextTimer < bound {
 				bound = c.NextTimer
 			}
-			// A block decision from a previous window is stale — the
-			// register file may have changed at the intervening kernel
-			// entry — so force a fresh one at this core's first block and
-			// drop any leftover merge budget with it.
-			c.fastLeft = 0
-			c.fastMerge = 0
+			// A block decision left open by a previous window is kept only
+			// when its stamp proves it still valid (same thread, register
+			// file unmutated); otherwise the first block re-decides and any
+			// leftover merge budget is dropped.
+			m.resumeOrResetFast(c)
 			active = append(active, c)
 			continue
 		}
@@ -151,6 +222,14 @@ func (m *Machine) trySuperstep() {
 		bound = m.cfg.MaxTicks
 	}
 	if bound <= t0 {
+		return
+	}
+
+	// Single-core machines take the continuation executor, which can chain
+	// several windows (and their timer-interrupt decision points) without
+	// returning to the Run loop.
+	if len(active) == 1 && len(m.cores) == 1 {
+		m.superstepSingle(active[0], t0, bound)
 		return
 	}
 
@@ -227,8 +306,8 @@ const fastMergeRun = 4
 // stepFastBlock retires one instruction of core c's thread in the
 // multi-core lockstep, re-deciding checked/unchecked execution whenever the
 // core crosses a basic-block edge (fastLeft counts the instructions still
-// covered by the current decision; trySuperstep zeroes it at window
-// admission because the register file may have changed between windows).
+// covered by the current decision; trySuperstep resets it at window
+// admission unless the decision's stamp proves it still valid).
 func (m *Machine) stepFastBlock(c *Core) bool {
 	t := c.Cur
 	if c.fastLeft == 0 {
@@ -237,6 +316,8 @@ func (m *Machine) stepFastBlock(c *Core) bool {
 			return false
 		}
 		c.fastLeft = m.blockLen[pc]
+		c.fastDecTID = t.ID
+		c.fastDecMuts = c.WP.Muts()
 		if c.fastMerge > 0 {
 			c.fastMerge--
 			c.fastChecked = true
@@ -263,46 +344,217 @@ func (m *Machine) stepFastBlock(c *Core) bool {
 // runFastSingle is the one-active-core window executor: it retires up to n
 // instructions in blockLen-sized straight-line chunks, so both the "is
 // this a kernel boundary" lookup and the checked/unchecked watchpoint
-// decision are hoisted to block edges. Returns the number of instructions
-// retired.
+// decision are hoisted to block edges. The decision lives in the core's
+// persistent fast fields (stamped for validity; see resumeOrResetFast), so
+// a window that ends mid-block can hand its open decision to the next one.
+// Returns the number of instructions retired.
 func (m *Machine) runFastSingle(c *Core, n uint64) uint64 {
 	t := c.Cur
 	var done uint64
-	var merge uint8 // window-local checked-block merge budget
 	for done < n {
-		pc := t.PC
-		if int(pc) >= len(m.blockLen) {
-			return done
-		}
-		chunk := uint64(m.blockLen[pc])
-		if chunk == 0 {
-			return done
-		}
-		var checked bool
-		if merge > 0 {
-			merge--
-			checked = true
-			m.demotions.CheckedOverlap++
-		} else {
-			checked = m.blockChecked(c, t, pc)
-			if checked {
-				merge = fastMergeRun
+		if c.fastLeft == 0 {
+			pc := t.PC
+			if int(pc) >= len(m.blockLen) || m.blockLen[pc] == 0 {
+				return done
+			}
+			c.fastLeft = m.blockLen[pc]
+			c.fastDecTID = t.ID
+			c.fastDecMuts = c.WP.Muts()
+			if c.fastMerge > 0 {
+				c.fastMerge--
+				c.fastChecked = true
+				m.demotions.CheckedOverlap++
+			} else {
+				c.fastChecked = m.blockChecked(c, t, pc)
+				if c.fastChecked {
+					c.fastMerge = fastMergeRun
+				}
+			}
+			if m.segRecording() {
+				m.segBlockFootprint(t, pc)
 			}
 		}
-		if m.segRecording() {
-			m.segBlockFootprint(t, pc)
-		}
+		chunk := uint64(c.fastLeft)
 		if chunk > n-done {
 			chunk = n - done
 		}
 		for j := uint64(0); j < chunk; j++ {
-			if !m.execFast(c, t, checked) {
+			if !m.execFast(c, t, c.fastChecked) {
+				c.fastLeft = 0
+				c.fastMerge = 0
 				return done + j
 			}
 		}
+		c.fastLeft -= uint16(chunk)
 		done += chunk
 	}
 	return done
+}
+
+// superstepSingle is the single-core window executor with same-pick
+// continuation: after retiring a window, it handles the event that ended it
+// — a timer interrupt at the window's own edge, or a syscall/HLT the fast
+// path cannot execute — inline, replicating the legacy Run-loop sequence
+// instruction for instruction (see the step-by-step correspondences below),
+// and, when the core is left running, opens the next window in place
+// instead of returning to the Run loop. With short quanta this collapses
+// the per-decision fixed cost (loop-top scans, admission recompute, clock
+// advance) into one tight loop, and when the policy re-picks the same
+// thread under an unchanged register file the open block decision survives
+// the boundary too. Anything that does not match the plain shapes below —
+// an event due inside the sequence, MaxTicks, a stop request, a thread that
+// blocks or exits, a faulting or would-trap instruction — returns to the
+// Run loop at a state the legacy loop itself would have reached, so the
+// loop finishes the moment exactly as before.
+func (m *Machine) superstepSingle(c *Core, t0, bound uint64) {
+	instr := m.cfg.Costs.Instr
+	costs := &m.cfg.Costs
+	for {
+		n := (bound - t0 + instr - 1) / instr
+		if n == 0 {
+			return
+		}
+		done := m.runFastSingle(c, n)
+		if done > 0 {
+			c.BusyUntil = t0 + done*instr
+			m.Stats.Instructions += done
+			m.fastInstrs += done
+			m.fastWindows++
+		}
+		if done == n {
+			// Window retired to its bound. Continue only when the bound was
+			// this core's own timer: deliver the interrupt inline. The legacy
+			// sequence at clock T (window end) and T+TimerInt, in order:
+			// TimerEdge demotion (trySuperstep's refusal), timer re-arm,
+			// TimerInterrupts++, canonical-state adoption, epoch-waiter
+			// check, preemption, interrupt cost, the idle-core adoption scan,
+			// the flag-gated waiter check, and the scheduling decision.
+			// Quantum > TimerInt guarantees the new timer is not already due.
+			T := t0 + n*instr
+			if bound != c.NextTimer || costs.Quantum <= costs.TimerInt ||
+				(len(m.events) > 0 && m.events[0].tick <= T+costs.TimerInt) ||
+				(m.cfg.MaxTicks > 0 && T+costs.TimerInt >= m.cfg.MaxTicks) {
+				return
+			}
+			m.demotions.TimerEdge++
+			m.clock = T
+			c.NextTimer = T + costs.Quantum
+			m.Stats.TimerInterrupts++
+			m.adoptCanon(c)
+			m.checkEpochWaiters()
+			m.preempt(c)
+			c.BusyUntil = T + costs.TimerInt
+			m.clock = T + costs.TimerInt
+			if m.coresBehind {
+				if c.WP.Epoch != m.K.Canon.Epoch {
+					m.adoptCanon(c)
+				}
+				m.coresBehind = false
+			}
+			if m.epochWaiters {
+				m.checkEpochWaiters()
+			}
+			m.schedule(c)
+			if c.Cur == nil {
+				return
+			}
+		} else {
+			// The window stopped early. When the blocker is a kernel
+			// boundary (SYS or HLT) execute it inline; a faulting or
+			// would-trap instruction instead replays through the Run loop,
+			// whose retry re-runs the block machinery (and its demotion
+			// accounting) that this path must not short-circuit.
+			pc := c.Cur.PC
+			if int(pc) < len(m.blockLen) && m.blockLen[pc] != 0 {
+				return
+			}
+			in, ok := m.DecodeAt(pc)
+			if !ok || (in.Op != isa.OpSYS && in.Op != isa.OpHLT) {
+				return
+			}
+			if done > 0 {
+				// Legacy: the clock advances to the partial window's end T
+				// (no event lies at or before it — the window bound — and
+				// MaxTicks is beyond it), then the loop top runs the
+				// adoption scan (a busy core cannot idle-adopt: the flag
+				// just recomputes) and the waiter check before the core
+				// loop executes the boundary instruction. With done == 0
+				// the loop top already ran at this clock; nothing repeats.
+				m.clock = t0 + done*instr
+				if m.coresBehind {
+					m.coresBehind = c.WP.Epoch != m.K.Canon.Epoch
+				}
+				if m.epochWaiters {
+					m.checkEpochWaiters()
+				}
+			}
+			m.step(c)
+			if c.Cur == nil || m.K.Log.StopRequested() {
+				return
+			}
+			// The thread returned to userspace; the legacy loop advances to
+			// the syscall's completion and takes the loop top there.
+			bu := c.BusyUntil
+			if (len(m.events) > 0 && m.events[0].tick <= bu) ||
+				(m.cfg.MaxTicks > 0 && bu >= m.cfg.MaxTicks) {
+				return
+			}
+			m.clock = bu
+			if m.coresBehind {
+				m.coresBehind = c.WP.Epoch != m.K.Canon.Epoch
+			}
+			if m.epochWaiters {
+				m.checkEpochWaiters()
+			}
+			if m.clock >= c.NextTimer {
+				// The syscall consumed the rest of the quantum (with short
+				// exploration quanta, the common case): the timer interrupt
+				// is due at its completion. Same inline sequence as the
+				// window-edge interrupt above, at the current clock.
+				if costs.Quantum <= costs.TimerInt {
+					return
+				}
+				m.demotions.TimerEdge++
+				c.NextTimer = m.clock + costs.Quantum
+				m.Stats.TimerInterrupts++
+				m.adoptCanon(c)
+				m.checkEpochWaiters()
+				m.preempt(c)
+				c.BusyUntil = m.clock + costs.TimerInt
+				bu = c.BusyUntil
+				if (len(m.events) > 0 && m.events[0].tick <= bu) ||
+					(m.cfg.MaxTicks > 0 && bu >= m.cfg.MaxTicks) {
+					return
+				}
+				m.clock = bu
+				if m.coresBehind {
+					if c.WP.Epoch != m.K.Canon.Epoch {
+						m.adoptCanon(c)
+					}
+					m.coresBehind = false
+				}
+				if m.epochWaiters {
+					m.checkEpochWaiters()
+				}
+				m.schedule(c)
+				if c.Cur == nil {
+					return
+				}
+			}
+		}
+		m.resumeOrResetFast(c)
+		t0 = m.clock
+		bound = c.NextTimer
+		if len(m.events) > 0 && m.events[0].tick < bound {
+			bound = m.events[0].tick
+		}
+		if m.cfg.MaxTicks > 0 && m.cfg.MaxTicks < bound {
+			bound = m.cfg.MaxTicks
+		}
+		if bound <= t0 {
+			return
+		}
+	}
 }
 
 // blockChecked decides, at a basic-block edge, whether the straight-line
@@ -318,15 +570,21 @@ func (m *Machine) blockChecked(c *Core, t *Thread, pc uint32) bool {
 	if c.WP.ArmedCount() == 0 {
 		return false
 	}
+	// Thread-relevant armed summary, cached per (thread, register-file
+	// mutation count): when every armed register is exempt for this thread
+	// (LocalOf — optimization 3), nothing the block does can trap, whatever
+	// its footprint. The cached window also prefilters the bounded case
+	// below without rescanning the register file at every block edge.
+	rel, rlo, rhi := m.relevantWindow(c, t.ID)
+	if rel == 0 {
+		return false
+	}
 	f := &m.fps[pc]
 	if f.Unbounded {
-		// An access the analysis could not bound: checked unless every
-		// armed register is exempt for this thread.
-		if c.WP.MayMatchRange(t.ID, 0, ^uint32(0)) {
-			m.demotions.Unbounded++
-			return true
-		}
-		return false
+		// An access the analysis could not bound, and at least one armed
+		// register is not exempt: checked.
+		m.demotions.Unbounded++
+		return true
 	}
 	// Assemble the footprint's components — absolute plus the SP/FP
 	// intervals evaluated against the live registers — and test them against
@@ -359,7 +617,20 @@ func (m *Machine) blockChecked(c *Core, t *Thread, pc uint32) bool {
 		ranges[n] = hw.AddrRange{Lo: uint32(lo64), Hi: uint32(hi64)}
 		n++
 	}
-	if n > 0 && c.WP.MayMatchRanges(t.ID, ranges[:n]) {
+	// Window prefilter against the cached relevant window: a footprint
+	// disjoint from it cannot hit any non-exempt register, so the common
+	// disjoint case skips the per-register scan entirely.
+	hit := false
+	for i := 0; i < n; i++ {
+		if ranges[i].Lo < rhi && rlo < ranges[i].Hi {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return false
+	}
+	if c.WP.MayMatchRanges(t.ID, ranges[:n]) {
 		m.demotions.ArmedOverlap++
 		return true
 	}
@@ -393,29 +664,32 @@ func (m *Machine) wouldTrap(c *Core, t *Thread, addr uint32, sz uint8, typ hw.Ac
 // identical clock with identical state.
 func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 	pc := t.PC
-	if int(pc) >= len(m.blockLen) || m.blockLen[pc] == 0 {
+	if int(pc) >= len(m.execKind) {
 		return false
 	}
-	in := m.decoded[pc]
+	k := m.execKind[pc]
+	if k == ekNone {
+		return false
+	}
+	in := &m.decoded[pc]
 	r := &t.Regs
-	op := in.Op
 	nextPC := pc + uint32(in.Len)
 
-	switch {
-	case op == isa.OpNOP:
-	case op == isa.OpMOVQ || op == isa.OpMOVL:
+	switch k {
+	case ekNOP:
+	case ekMOVI:
 		r[in.Rd] = in.Imm
-	case op == isa.OpMOVR:
+	case ekMOVR:
 		r[in.Rd] = r[in.Ra]
-	case op >= isa.OpADD && op <= isa.OpCGE:
-		v, ok := alu(op, r[in.Ra], r[in.Rb])
+	case ekALU:
+		v, ok := alu(in.Op, r[in.Ra], r[in.Rb])
 		if !ok {
 			return false // division by zero: fault on the legacy path
 		}
 		r[in.Rd] = v
-	case op == isa.OpADDI:
+	case ekADDI:
 		r[in.Rd] = r[in.Ra] + in.Imm
-	case op >= isa.OpLD && op < isa.OpLD+4:
+	case ekLD:
 		if !m.inBounds(in.Addr, in.Sz) {
 			return false
 		}
@@ -423,7 +697,7 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 			return false
 		}
 		r[in.Rd] = signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
-	case op >= isa.OpST && op < isa.OpST+4:
+	case ekST:
 		if !m.inBounds(in.Addr, in.Sz) {
 			return false
 		}
@@ -431,7 +705,7 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 			return false
 		}
 		m.storeRaw(in.Addr, in.Sz, uint64(r[in.Ra]))
-	case op >= isa.OpLDR && op < isa.OpLDR+4:
+	case ekLDR:
 		addr := uint32(r[in.Ra] + in.Imm)
 		if !m.inBounds(addr, in.Sz) {
 			return false
@@ -440,7 +714,7 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 			return false
 		}
 		r[in.Rd] = signExtend(m.loadRaw(addr, in.Sz), in.Sz)
-	case op >= isa.OpSTR && op < isa.OpSTR+4:
+	case ekSTR:
 		addr := uint32(r[in.Ra] + in.Imm)
 		if !m.inBounds(addr, in.Sz) {
 			return false
@@ -449,7 +723,7 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 			return false
 		}
 		m.storeRaw(addr, in.Sz, uint64(r[in.Rb]))
-	case op == isa.OpPUSH:
+	case ekPUSH:
 		sp := uint32(r[isa.RegSP]) - 8
 		if !m.inBounds(sp, 8) {
 			return false
@@ -459,7 +733,7 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 		}
 		r[isa.RegSP] = int64(sp)
 		m.storeRaw(sp, 8, uint64(r[in.Ra]))
-	case op == isa.OpPOP:
+	case ekPOP:
 		sp := uint32(r[isa.RegSP])
 		if !m.inBounds(sp, 8) {
 			return false
@@ -469,7 +743,7 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 		}
 		r[in.Rd] = int64(m.loadRaw(sp, 8))
 		r[isa.RegSP] = int64(sp + 8)
-	case op >= isa.OpPUSHM && op < isa.OpPUSHM+4:
+	case ekPUSHM:
 		if !m.inBounds(in.Addr, in.Sz) {
 			return false
 		}
@@ -484,17 +758,17 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 		v := signExtend(m.loadRaw(in.Addr, in.Sz), in.Sz)
 		r[isa.RegSP] = int64(sp)
 		m.storeRaw(sp, 8, uint64(v))
-	case op == isa.OpJMP:
+	case ekJMP:
 		nextPC = in.Addr
-	case op == isa.OpJZ:
+	case ekJZ:
 		if r[in.Ra] == 0 {
 			nextPC = in.Addr
 		}
-	case op == isa.OpJNZ:
+	case ekJNZ:
 		if r[in.Ra] != 0 {
 			nextPC = in.Addr
 		}
-	case op == isa.OpCALL:
+	case ekCALL:
 		sp := uint32(r[isa.RegSP]) - 8
 		if !m.inBounds(sp, 8) {
 			return false
@@ -506,7 +780,7 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 		m.storeRaw(sp, 8, uint64(nextPC))
 		nextPC = in.Addr
 		t.Depth++
-	case op == isa.OpCALLM:
+	case ekCALLM:
 		if !m.inBounds(in.Addr, 8) {
 			return false
 		}
@@ -523,7 +797,7 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 		m.storeRaw(sp, 8, uint64(nextPC))
 		nextPC = target
 		t.Depth++
-	case op == isa.OpRET:
+	case ekRET:
 		sp := uint32(r[isa.RegSP])
 		if !m.inBounds(sp, 8) {
 			return false
@@ -536,9 +810,6 @@ func (m *Machine) execFast(c *Core, t *Thread, checked bool) bool {
 		if t.Depth > 0 {
 			t.Depth--
 		}
-	default:
-		// Op the legacy interpreter would fault as unimplemented.
-		return false
 	}
 
 	t.LastInstr = pc

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"container/heap"
+	"encoding/binary"
 
 	"kivati/internal/isa"
 	"kivati/internal/kernel"
@@ -36,11 +37,15 @@ func (m *Machine) Suspend(tid int, kind kernel.BlockKind) {
 		m.cores[t.OnCore].Cur = nil
 		t.OnCore = -1
 	}
+	if t.State == stBlocked && (t.Block == kernel.BlockEpoch || t.Block == kernel.BlockPause) {
+		m.epochBlocked--
+	}
 	t.State = stBlocked
 	t.Block = kind
 	m.tracef("suspend T%d kind=%d pc=%#x", tid, kind, t.PC)
 	if kind == kernel.BlockEpoch || kind == kernel.BlockPause {
 		m.epochWaiters = true
+		m.epochBlocked++
 	}
 }
 
@@ -51,6 +56,9 @@ func (m *Machine) Resume(tid int) {
 		return
 	}
 	m.tracef("resume T%d pc=%#x", tid, t.PC)
+	if t.Block == kernel.BlockEpoch || t.Block == kernel.BlockPause {
+		m.epochBlocked--
+	}
 	t.State = stRunnable
 	t.Block = kernel.BlockNone
 	t.WakeAt = 0
@@ -103,8 +111,14 @@ func (m *Machine) minCoreEpoch() uint64 {
 }
 
 // checkEpochWaiters wakes every epoch/pause-blocked thread whose conditions
-// now hold.
+// now hold. The blocked-thread count short-circuits the scan — kernel
+// entries call this on every syscall, trap and timer interrupt, and in runs
+// with no suspensions the full-table walk was pure overhead.
 func (m *Machine) checkEpochWaiters() {
+	if m.epochBlocked == 0 {
+		m.epochWaiters = false
+		return
+	}
 	any := false
 	for _, t := range m.threads {
 		if t.State == stBlocked && (t.Block == kernel.BlockEpoch || t.Block == kernel.BlockPause) {
@@ -181,7 +195,7 @@ func (m *Machine) AfterTimeout(ticks uint64, wpIdx int, gen uint64) {
 func (m *Machine) EpochChanged() {
 	m.coresBehind = true
 	if m.curCore != nil {
-		m.curCore.WP.CopyFrom(m.K.Canon)
+		m.adoptCanon(m.curCore)
 	}
 	if m.epochWaiters {
 		m.checkEpochWaiters()
@@ -190,10 +204,21 @@ func (m *Machine) EpochChanged() {
 
 // raw little-endian memory access; out-of-bounds reads return 0 and writes
 // are dropped (the executing path bounds-checks and faults the thread
-// first).
+// first). The power-of-two sizes go through single word loads/stores; the
+// byte loop survives only for irregular sizes.
 func (m *Machine) loadRaw(addr uint32, sz uint8) uint64 {
 	if int(addr)+int(sz) > len(m.Mem) {
 		return 0
+	}
+	switch sz {
+	case 8:
+		return binary.LittleEndian.Uint64(m.Mem[addr:])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.Mem[addr:]))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.Mem[addr:]))
+	case 1:
+		return uint64(m.Mem[addr])
 	}
 	var v uint64
 	for i := uint8(0); i < sz; i++ {
@@ -211,7 +236,18 @@ func (m *Machine) storeRaw(addr uint32, sz uint8, v uint64) {
 		m.pageDirty[addr>>pageShift] = true
 		m.pageDirty[(addr+uint32(sz)-1)>>pageShift] = true
 	}
-	for i := uint8(0); i < sz; i++ {
-		m.Mem[addr+uint32(i)] = byte(v >> (8 * i))
+	switch sz {
+	case 8:
+		binary.LittleEndian.PutUint64(m.Mem[addr:], v)
+	case 4:
+		binary.LittleEndian.PutUint32(m.Mem[addr:], uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(m.Mem[addr:], uint16(v))
+	case 1:
+		m.Mem[addr] = byte(v)
+	default:
+		for i := uint8(0); i < sz; i++ {
+			m.Mem[addr+uint32(i)] = byte(v >> (8 * i))
+		}
 	}
 }

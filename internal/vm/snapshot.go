@@ -109,6 +109,16 @@ type coreSnap struct {
 	curTID    int // -1 = idle
 	busyUntil uint64
 	nextTimer uint64
+
+	// Open block decision (see Core): a run resumed from this snapshot must
+	// make the identical keep/reset choice at the next window boundary that
+	// the continuous run made, so the decision and its validity stamp are
+	// state, not scratch.
+	fastLeft    uint16
+	fastChecked bool
+	fastMerge   uint8
+	fastDecTID  int
+	fastDecMuts uint64
 }
 
 // Snapshot is an immutable capture of a machine's execution state. See the
@@ -142,6 +152,11 @@ type Snapshot struct {
 	fastInstrs  uint64
 	fastWindows uint64
 	demotions   Demotions
+
+	decisions    uint64
+	samePickCont uint64
+	deltaArms    uint64
+	fullArms     uint64
 
 	segCount int
 
@@ -193,13 +208,17 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 		fastInstrs:   m.fastInstrs,
 		fastWindows:  m.fastWindows,
 		demotions:    m.demotions,
+		decisions:    m.decisions,
+		samePickCont: m.samePickCont,
+		deltaArms:    m.deltaArms,
+		fullArms:     m.fullArms,
 		// A snapshot taken inside Pick(d) has already closed segment d, but
 		// a resumed run re-executes that Pick — including its closeSegment —
 		// so the restored machine must hold only the segments of fully
 		// completed decisions (min handles the recording-limit cutoff).
-		segCount:     min(len(m.segs), int(m.schedSeq)),
-		kern:         m.K.Snapshot(),
-		log:          m.K.Log.SaveState(),
+		segCount: min(len(m.segs), int(m.schedSeq)),
+		kern:     m.K.Snapshot(),
+		log:      m.K.Log.SaveState(),
 	}
 	for i, t := range m.threads {
 		s.threads[i] = *t
@@ -210,7 +229,17 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	for i, c := range m.cores {
 		wp := hw.NewRegisterFile(len(c.WP.WPs))
 		wp.CopyFrom(c.WP)
-		cs := coreSnap{wp: wp, curTID: -1, busyUntil: c.BusyUntil, nextTimer: c.NextTimer}
+		cs := coreSnap{
+			wp:          wp,
+			curTID:      -1,
+			busyUntil:   c.BusyUntil,
+			nextTimer:   c.NextTimer,
+			fastLeft:    c.fastLeft,
+			fastChecked: c.fastChecked,
+			fastMerge:   c.fastMerge,
+			fastDecTID:  c.fastDecTID,
+			fastDecMuts: c.fastDecMuts,
+		}
 		if c.Cur != nil {
 			cs.curTID = c.Cur.ID
 		}
@@ -289,8 +318,15 @@ func (m *Machine) Restore(s *Snapshot) {
 		}
 		c.nacc = 0
 		c.trapAborted = false
-		c.fastLeft = 0
-		c.fastChecked = false
+		c.fastLeft = cs.fastLeft
+		c.fastChecked = cs.fastChecked
+		c.fastMerge = cs.fastMerge
+		c.fastDecTID = cs.fastDecTID
+		c.fastDecMuts = cs.fastDecMuts
+		// The relevant-window cache is derived state keyed on a mutation
+		// count; counts from different timelines may collide, so a restore
+		// always invalidates it.
+		c.wpCacheTID = -1
 	}
 	m.events = append(m.events[:0], s.events...)
 
@@ -323,10 +359,20 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.reason = ""
 	m.curCore = nil
 	m.epochWaiters = s.epochWaiters
+	m.epochBlocked = 0
+	for _, t := range m.threads {
+		if t.State == stBlocked && (t.Block == kernel.BlockEpoch || t.Block == kernel.BlockPause) {
+			m.epochBlocked++
+		}
+	}
 	m.coresBehind = s.coresBehind
 	m.fastInstrs = s.fastInstrs
 	m.fastWindows = s.fastWindows
 	m.demotions = s.demotions
+	m.decisions = s.decisions
+	m.samePickCont = s.samePickCont
+	m.deltaArms = s.deltaArms
+	m.fullArms = s.fullArms
 
 	// Segment recording resumes at the snapshot's absolute index. Entries
 	// below it belong to whatever run this machine executed last and are

@@ -147,17 +147,31 @@ type Core struct {
 	nacc        int
 	trapAborted bool
 
-	// Watchpoint-aware fast path scratch: fastLeft counts the instructions
+	// Watchpoint-aware fast path state: fastLeft counts the instructions
 	// still covered by the core's current block-edge decision, fastChecked
 	// is that decision (per-access checks required), and fastMerge is the
 	// checked-block merge budget — block edges that inherit the previous
 	// checked decision without a fresh register-file scan (counted as
-	// Demotions.CheckedOverlap). trySuperstep zeroes fastLeft and fastMerge
-	// at window admission, since the register file may have changed at a
-	// kernel entry between windows.
+	// Demotions.CheckedOverlap). The decision is stamped with the thread it
+	// was made for and the register file's mutation count at decision time
+	// (fastDecTID/fastDecMuts); window admission keeps an open decision only
+	// while both still match (see resumeOrResetFast), so a decision point
+	// that re-picks the same thread under an unchanged register file extends
+	// the open superstep instead of re-deciding. All five fields are part of
+	// snapshots — a resumed run must make the identical keep/reset choices.
 	fastLeft    uint16
 	fastChecked bool
 	fastMerge   uint8
+	fastDecTID  int
+	fastDecMuts uint64
+
+	// Cached relevant-window summary for blockChecked, keyed by
+	// (wpCacheTID, wpCacheMuts); see Machine.relevantWindow. Pure derived
+	// state: never snapshotted, invalidated on Restore.
+	wpCacheTID       int
+	wpCacheMuts      uint64
+	wpRelCount       int
+	wpRelLo, wpRelHi uint32
 }
 
 // eventKind discriminates pending timer events. All kernel- and
@@ -169,10 +183,10 @@ type Core struct {
 type eventKind uint8
 
 const (
-	evFn eventKind = iota
-	evWake      // a = thread ID: wake a Pause/Sleep-blocked thread
-	evWPTimeout // a = watchpoint index, b = generation: kernel.TimeoutWP
-	evArrival   // request-generator arrival
+	evFn        eventKind = iota
+	evWake                // a = thread ID: wake a Pause/Sleep-blocked thread
+	evWPTimeout           // a = watchpoint index, b = generation: kernel.TimeoutWP
+	evArrival             // request-generator arrival
 )
 
 type event struct {
@@ -226,6 +240,11 @@ type Machine struct {
 	// flow, else 1 + blockLen[next pc]. Built once in New from the decoded
 	// stream.
 	blockLen []uint16
+	// execKind[pc] is the fast interpreter's precomputed dispatch kind for
+	// the instruction at pc (ekNone for everything the fast path refuses),
+	// so execFast jumps straight to the handler instead of re-classifying
+	// opcode ranges per retirement. Built alongside blockLen.
+	execKind []uint8
 	fastOK   bool // config admits the fast path at all (computed once)
 
 	// fps[pc] is the static address footprint of the straight-line run the
@@ -241,6 +260,12 @@ type Machine struct {
 	fastInstrs  uint64 // instructions retired by the fast path
 	fastWindows uint64 // fast windows executed
 	demotions   Demotions
+
+	// Decision-point cost accounting (also outside kernel.Stats).
+	decisions    uint64 // scheduler decision points (free core, ≥2 runnable)
+	samePickCont uint64 // window boundaries that kept the open block decision
+	deltaArms    uint64 // register-file adoptions resolved incrementally
+	fullArms     uint64 // adoptions that fell back to the full-table copy
 
 	fastCores  []*Core // scratch: cores active in the current window
 	fastCounts []int   // scratch: per-core instructions executed this window
@@ -264,6 +289,11 @@ type Machine struct {
 	reason    string
 
 	epochWaiters bool // any thread blocked on epoch/pause (cheap gate)
+	// epochBlocked counts the threads in that state, so the kernel-entry
+	// waiter checks return without scanning the thread table when no one
+	// can possibly wake. Derived state: maintained by Suspend/Resume,
+	// recomputed on Restore.
+	epochBlocked int
 
 	// coresBehind is set by EpochChanged whenever the canonical watchpoint
 	// state advances and cleared once every core has adopted it; while
@@ -351,7 +381,13 @@ func New(bin *compile.Binary, k *kernel.Kernel, cfg Config) (*Machine, error) {
 		cfg.Debug == nil &&
 		(cfg.Dispatch == DispatchFast || cfg.Policy == nil)
 	for i := 0; i < cfg.Cores; i++ {
-		c := &Core{ID: i, WP: hw.NewRegisterFile(k.Cfg.NumWatchpoints), NextTimer: cfg.Costs.Quantum}
+		c := &Core{
+			ID:         i,
+			WP:         hw.NewRegisterFile(k.Cfg.NumWatchpoints),
+			NextTimer:  cfg.Costs.Quantum,
+			fastDecTID: -1,
+			wpCacheTID: -1,
+		}
 		m.cores = append(m.cores, c)
 	}
 	k.SetMachine(m)
@@ -420,25 +456,28 @@ func (m *Machine) NumThreads() int { return len(m.threads) }
 // bench row rather than just visible in the aggregate percentage. Like the
 // other fast-path telemetry it lives outside kernel.Stats (which must stay
 // byte-identical across dispatch modes).
+// Zero counters are omitted from JSON: a vanilla (watchpoint-free) run can
+// only ever demote on timer edges, and its bench rows used to carry four
+// always-zero fields as noise.
 type Demotions struct {
 	// ArmedOverlap: basic blocks executed in checked mode because their
 	// static footprint may overlap an armed register.
-	ArmedOverlap uint64 `json:"armed_overlap"`
+	ArmedOverlap uint64 `json:"armed_overlap,omitempty"`
 	// Unbounded: basic blocks executed in checked mode because their
 	// footprint is unbounded (indirect/pointer access the value-range
 	// analysis could not bound, untracked SP/FP).
-	Unbounded uint64 `json:"unbounded"`
+	Unbounded uint64 `json:"unbounded,omitempty"`
 	// CheckedOverlap: basic blocks that inherited the previous block's
 	// checked decision through the merge budget instead of re-scanning the
 	// register file — overlapping-footprint runs amortizing the per-block
 	// decision.
-	CheckedOverlap uint64 `json:"checked_overlap"`
+	CheckedOverlap uint64 `json:"checked_overlap,omitempty"`
 	// TimerEdge: superstep windows refused because a timer interrupt or
 	// event was already due at window start.
-	TimerEdge uint64 `json:"timer_edge"`
+	TimerEdge uint64 `json:"timer_edge,omitempty"`
 	// WouldTrap: checked-mode accesses that matched an armed register; the
 	// instruction replayed on the legacy path, which delivered the trap.
-	WouldTrap uint64 `json:"would_trap"`
+	WouldTrap uint64 `json:"would_trap,omitempty"`
 }
 
 // Result summarizes a run.
@@ -462,6 +501,16 @@ type Result struct {
 	// Demotions breaks down why work left (or never reached) the unchecked
 	// fast path; see the Demotions type.
 	Demotions Demotions
+	// Decision-point cost accounting: Decisions counts scheduler decision
+	// points (a free core with two or more runnable threads);
+	// SamePickContinues counts superstep-window boundaries that kept the
+	// open block decision (crossings avoided); DeltaArms/FullArms split
+	// watchpoint adoptions into incremental delta applications vs
+	// full-table copies. All telemetry outside the bit-identical gate.
+	Decisions         uint64
+	SamePickContinues uint64
+	DeltaArms         uint64
+	FullArms          uint64
 	// MemHash is the FNV-1a hash of final data memory, filled only when
 	// the caller requested it (core.RunConfig.HashMemory).
 	MemHash uint64
@@ -497,7 +546,7 @@ func (m *Machine) Run() *Result {
 					continue
 				}
 				if c.Cur == nil && c.BusyUntil <= m.clock {
-					c.WP.CopyFrom(m.K.Canon)
+					m.adoptCanon(c)
 				} else {
 					behind = true
 				}
@@ -527,7 +576,7 @@ func (m *Machine) Run() *Result {
 				c.NextTimer = m.clock + m.cfg.Costs.Quantum
 				if c.Cur != nil {
 					m.Stats.TimerInterrupts++
-					c.WP.CopyFrom(m.K.Canon)
+					m.adoptCanon(c)
 					m.checkEpochWaiters()
 					m.preempt(c)
 					c.BusyUntil = m.clock + m.cfg.Costs.TimerInt
@@ -609,16 +658,20 @@ func (m *Machine) Run() *Result {
 	}
 	m.Stats.Ticks = m.clock
 	return &Result{
-		Stats:            m.Stats,
-		Violations:       m.K.Log.Violations,
-		Output:           m.Output,
-		Latencies:        m.Latencies,
-		Faults:           m.Faults,
-		Reason:           m.reason,
-		Ticks:            m.clock,
-		FastInstructions: m.fastInstrs,
-		FastWindows:      m.fastWindows,
-		Demotions:        m.demotions,
+		Stats:             m.Stats,
+		Violations:        m.K.Log.Violations,
+		Output:            m.Output,
+		Latencies:         m.Latencies,
+		Faults:            m.Faults,
+		Reason:            m.reason,
+		Ticks:             m.clock,
+		FastInstructions:  m.fastInstrs,
+		FastWindows:       m.fastWindows,
+		Demotions:         m.demotions,
+		Decisions:         m.decisions,
+		SamePickContinues: m.samePickCont,
+		DeltaArms:         m.deltaArms,
+		FullArms:          m.fullArms,
 	}
 }
 
@@ -668,6 +721,7 @@ func (m *Machine) schedule(c *Core) {
 	}
 	i := 0
 	if len(m.runq) > 1 {
+		m.decisions++
 		if m.cfg.Policy != nil {
 			// Decision point: close the access segment accumulated since
 			// the previous decision before consulting the policy, so a
